@@ -1,0 +1,1 @@
+examples/adaptive_auditing.ml: Printf Sc_audit Sc_hash

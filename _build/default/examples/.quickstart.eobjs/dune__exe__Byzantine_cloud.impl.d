@@ -1,0 +1,1 @@
+examples/byzantine_cloud.ml: List Printf Sc_audit Sc_sim

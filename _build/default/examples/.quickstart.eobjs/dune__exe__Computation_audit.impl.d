@@ -1,0 +1,1 @@
+examples/computation_audit.ml: Format List Printf Sc_audit Sc_compute Sc_pairing Sc_storage Seccloud

@@ -1,0 +1,1 @@
+examples/distributed_mapreduce.ml: Array Fun List Printf Sc_audit Sc_compute Sc_pairing Sc_storage Seccloud String

@@ -1,0 +1,1 @@
+examples/dynamic_storage.ml: Lazy List Option Printf Sc_hash Sc_ibc Sc_pairing Sc_storage String

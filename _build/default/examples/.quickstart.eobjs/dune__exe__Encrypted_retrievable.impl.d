@@ -1,0 +1,1 @@
+examples/encrypted_retrievable.ml: Array Lazy List Printf Sc_hash Sc_ibc Sc_pairing Sc_pdp String

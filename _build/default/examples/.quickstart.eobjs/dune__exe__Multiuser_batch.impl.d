@@ -1,0 +1,1 @@
+examples/multiuser_batch.ml: List Printf Sc_audit Sc_compute Sc_hash Sc_pairing Sc_storage Seccloud

@@ -1,0 +1,1 @@
+examples/multiuser_batch.mli:

@@ -1,0 +1,1 @@
+examples/optimal_sampling.ml: List Printf Sc_audit Sc_sim

@@ -1,0 +1,1 @@
+examples/privacy_dvs.ml: Lazy Printf Sc_hash Sc_ibc Sc_pairing

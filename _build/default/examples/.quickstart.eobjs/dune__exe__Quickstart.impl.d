@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Sc_audit Sc_compute Sc_pairing Sc_storage Seccloud

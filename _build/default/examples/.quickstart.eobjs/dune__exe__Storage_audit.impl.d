@@ -1,0 +1,1 @@
+examples/storage_audit.ml: List Printf Sc_pairing Sc_storage Seccloud String

@@ -1,0 +1,54 @@
+(* Adaptive audit scheduling (the Sc_audit.Trust extension realizing
+   §VII-C's "history learning" for audit intensity).
+
+     dune exec examples/adaptive_auditing.exe
+
+   The DA audits two servers over many rounds.  The reliable server
+   earns progressively lighter audits (its clean streak relaxes the
+   effective ε); the flaky one keeps getting the full sample size and
+   eventually crosses the drop threshold. *)
+
+module Trust = Sc_audit.Trust
+
+let () =
+  let trust = Trust.create () in
+  let policy = Trust.default_policy in
+  let drbg = Sc_hash.Drbg.create ~seed:"adaptive" in
+  (* Ground truth: "steady" always passes; "flaky" fails 30% of its
+     audits. *)
+  let passes server =
+    match server with
+    | "steady" -> true
+    | _ -> Sc_hash.Drbg.float drbg >= 0.3
+  in
+  Printf.printf "%6s %18s %18s %12s %12s\n" "round" "t(steady)" "t(flaky)"
+    "est(steady)" "est(flaky)";
+  for round = 1 to 24 do
+    let t_steady = Trust.recommended_samples trust policy ~server:"steady" in
+    let t_flaky = Trust.recommended_samples trust policy ~server:"flaky" in
+    Trust.record trust ~server:"steady" ~passed:(passes "steady");
+    Trust.record trust ~server:"flaky" ~passed:(passes "flaky");
+    if round mod 4 = 0 then
+      Printf.printf "%6d %18d %18d %12.2f %12.2f\n" round t_steady t_flaky
+        (Trust.estimate trust ~server:"steady")
+        (Trust.estimate trust ~server:"flaky")
+  done;
+  Printf.printf "\nsteady: %d audits, %d failures, streak %d -> drop? %b\n"
+    (Trust.audits trust ~server:"steady")
+    (Trust.failures trust ~server:"steady")
+    (Trust.clean_streak trust ~server:"steady")
+    (Trust.should_drop trust ~server:"steady");
+  Printf.printf "flaky:  %d audits, %d failures, streak %d -> drop? %b\n"
+    (Trust.audits trust ~server:"flaky")
+    (Trust.failures trust ~server:"flaky")
+    (Trust.clean_streak trust ~server:"flaky")
+    (Trust.should_drop trust ~server:"flaky");
+  (* The security floor still holds: even a perfect streak cannot
+     relax t below the policy minimum. *)
+  for _ = 1 to 100 do
+    Trust.record trust ~server:"steady" ~passed:true
+  done;
+  Printf.printf
+    "after 100 more clean audits, steady's t = %d (never below min_samples = %d)\n"
+    (Trust.recommended_samples trust policy ~server:"steady")
+    policy.Trust.min_samples

@@ -1,0 +1,55 @@
+(* A multi-epoch Byzantine cloud deployment (§III-B adversary model).
+
+     dune exec examples/byzantine_cloud.exe
+
+   A mobile adversary corrupts up to b of the n servers each epoch
+   with behaviours drawn from the full attack catalogue; users keep
+   storing and outsourcing; the DA audits everything.  The run prints
+   per-epoch outcomes and the aggregate detection statistics. *)
+
+let () =
+  let config =
+    {
+      Sc_sim.Engine.default_config with
+      Sc_sim.Engine.seed = "byzantine-example";
+      n_servers = 5;
+      byzantine_bound = 2;
+      n_users = 3;
+      epochs = 6;
+      blocks_per_file = 24;
+      tasks_per_service = 12;
+      samples_per_audit = 8;
+      cheat_damage = 1000.0;
+    }
+  in
+  Printf.printf
+    "simulating %d epochs: %d servers (adversary bound b=%d), %d users\n\n"
+    config.Sc_sim.Engine.epochs config.Sc_sim.Engine.n_servers
+    config.Sc_sim.Engine.byzantine_bound config.Sc_sim.Engine.n_users;
+  let stats = Sc_sim.Engine.run config in
+  Printf.printf "%6s %-8s %-8s %8s %10s %10s\n" "epoch" "server" "user"
+    "cheats?" "storage" "compute";
+  List.iter
+    (fun (o : Sc_sim.Engine.audit_outcome) ->
+      Printf.printf "%6d %-8s %-8s %8b %10s %10s\n" o.Sc_sim.Engine.epoch
+        o.Sc_sim.Engine.server o.Sc_sim.Engine.user o.Sc_sim.Engine.server_cheats
+        (if o.Sc_sim.Engine.storage_ok then "ok" else "FAIL")
+        (if o.Sc_sim.Engine.computation_ok then "ok" else "FAIL"))
+    stats.Sc_sim.Engine.outcomes;
+  Printf.printf
+    "\n\
+     totals: detected=%d undetected=%d false_alarms=%d honest_passed=%d\n\
+     detection rate: %.2f   network bytes: %d   virtual time: %.0fs\n"
+    stats.Sc_sim.Engine.detected stats.Sc_sim.Engine.undetected
+    stats.Sc_sim.Engine.false_alarms stats.Sc_sim.Engine.honest_passed
+    (Sc_sim.Engine.detection_rate stats)
+    stats.Sc_sim.Engine.total_bytes stats.Sc_sim.Engine.sim_time;
+  (* Cross-check the empirical miss rate against the closed form for
+     the catalogue's average confidences. *)
+  let predicted =
+    Sc_audit.Sampling.pr_cheat ~csc:0.7 ~ssc:0.7 ~range:1000.0 ~sig_forge:1e-9
+      ~t:config.Sc_sim.Engine.samples_per_audit
+  in
+  Printf.printf
+    "closed-form survival bound for a 30%%-cheating server at t=%d: %.4f\n"
+    config.Sc_sim.Engine.samples_per_audit predicted

@@ -1,0 +1,1 @@
+lib/audit/batch.ml: List Protocol Sc_compute Sc_ibc Sc_merkle Sc_pairing Sc_storage

@@ -1,0 +1,1 @@
+lib/audit/batch.mli: Protocol Sc_compute Sc_ibc

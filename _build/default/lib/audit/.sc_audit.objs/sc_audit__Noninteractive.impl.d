@@ -1,0 +1,1 @@
+lib/audit/noninteractive.ml: Char Hashtbl List Protocol Sc_compute Sc_hash Sc_ibc Sc_merkle Sc_storage String

@@ -1,0 +1,1 @@
+lib/audit/noninteractive.mli: Protocol Sc_compute Sc_ibc

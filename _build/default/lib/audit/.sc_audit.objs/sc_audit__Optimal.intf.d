@@ -1,0 +1,1 @@
+lib/audit/optimal.mli:

@@ -1,0 +1,1 @@
+lib/audit/protocol.ml: Array Format List Sc_compute Sc_hash Sc_ibc Sc_merkle Sc_storage

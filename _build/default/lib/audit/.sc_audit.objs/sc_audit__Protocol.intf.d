@@ -1,0 +1,1 @@
+lib/audit/protocol.mli: Format Sc_compute Sc_hash Sc_ibc

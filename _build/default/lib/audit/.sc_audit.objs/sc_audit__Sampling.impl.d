@@ -1,0 +1,1 @@
+lib/audit/sampling.ml: List Printf

@@ -1,0 +1,1 @@
+lib/audit/trust.ml: Float Hashtbl Sampling

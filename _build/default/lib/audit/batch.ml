@@ -1,0 +1,112 @@
+module Setup = Sc_ibc.Setup
+module Ibs = Sc_ibc.Ibs
+module Agg = Sc_ibc.Agg
+module Merkle = Sc_merkle.Tree
+module Executor = Sc_compute.Executor
+module Task = Sc_compute.Task
+module Signer = Sc_storage.Signer
+module Block = Sc_storage.Block
+
+type job = {
+  owner : string;
+  commitment : Protocol.commitment;
+  challenge : Protocol.challenge;
+  responses : Executor.response list;
+}
+
+(* Non-signature checks for one response (recompute + root + position
+   claim); signature material is returned for aggregation. *)
+let non_signature_checks job (resp : Executor.response) =
+  let i = resp.Executor.task_index in
+  let failures = ref [] in
+  let entry = ref None in
+  (match resp.Executor.read with
+  | None -> failures := Protocol.Signature_wrong i :: !failures
+  | Some { Sc_storage.Server.claimed; signed } ->
+    (match Task.eval resp.Executor.request.Task.func claimed with
+    | Some y when y = resp.Executor.result -> ()
+    | Some _ | None -> failures := Protocol.Computing_wrong i :: !failures);
+    if claimed.Block.index <> resp.Executor.request.Task.position
+    then failures := Protocol.Signature_wrong i :: !failures;
+    entry :=
+      Some
+        {
+          Agg.signer = job.owner;
+          msg = Block.signing_message claimed;
+          dvs = Signer.dvs_for `Da signed;
+        });
+  let leaf =
+    Executor.leaf_payload ~result:resp.Executor.result
+      ~position:resp.Executor.request.Task.position
+  in
+  if not
+       (Merkle.verify_proof ~root:job.commitment.Protocol.root
+          ~leaf_payload:leaf resp.Executor.proof)
+  then failures := Protocol.Root_wrong i :: !failures;
+  !failures, !entry
+
+let dvs_entry role job (resp : Executor.response) =
+  match resp.Executor.read with
+  | None -> None
+  | Some { Sc_storage.Server.claimed; signed } ->
+    Some
+      {
+        Agg.signer = job.owner;
+        msg = Block.signing_message claimed;
+        dvs = Signer.dvs_for role signed;
+      }
+
+let verify_jobs pub ~verifier_key ~role jobs =
+  let failures = ref [] in
+  let fail f = failures := f :: !failures in
+  let entries = ref [] in
+  List.iter
+    (fun job ->
+      (* Root commitment signatures are checked per job. *)
+      if not
+           (Ibs.verify pub ~signer:job.commitment.Protocol.cs_id
+              ~msg:("root:" ^ job.commitment.Protocol.root)
+              job.commitment.Protocol.root_signature)
+      then fail Protocol.Root_signature_wrong;
+      let by_index =
+        List.fold_left
+          (fun acc (r : Executor.response) -> (r.Executor.task_index, r) :: acc)
+          [] job.responses
+      in
+      List.iter
+        (fun i ->
+          match List.assoc_opt i by_index with
+          | None -> fail (Protocol.Missing_response i)
+          | Some resp ->
+            let fs, _ = non_signature_checks job resp in
+            List.iter fail fs;
+            (match dvs_entry role job resp with
+            | Some e -> entries := (job, resp, e) :: !entries
+            | None -> ()))
+        job.challenge.Protocol.sample_indices)
+    jobs;
+  (* One aggregate equation covers every sampled signature. *)
+  let agg_entries = List.map (fun (_, _, e) -> e) !entries in
+  if not (Agg.verify_batch pub ~verifier_key agg_entries) then begin
+    (* Attribute blame: re-check signatures individually. *)
+    List.iter
+      (fun (job, (resp : Executor.response), _) ->
+        match resp.Executor.read with
+        | None -> ()
+        | Some { Sc_storage.Server.claimed; signed } ->
+          if not
+               (Signer.verify_block pub ~verifier_key ~role ~owner:job.owner
+                  claimed signed)
+          then fail (Protocol.Signature_wrong resp.Executor.task_index))
+      !entries;
+    (* A batch that fails aggregation but passes every individual
+       check indicates an inconsistent aggregate (e.g. a mauled Σ):
+       record it against the whole batch. *)
+    if !failures = [] then fail Protocol.Root_signature_wrong
+  end;
+  { Protocol.valid = !failures = []; failures = List.rev !failures }
+
+let pairings_used pub ~verifier_key ~role jobs =
+  let before = Sc_pairing.Tate.pairings_performed () in
+  let verdict = verify_jobs pub ~verifier_key ~role jobs in
+  verdict, Sc_pairing.Tate.pairings_performed () - before

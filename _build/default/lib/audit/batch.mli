@@ -1,0 +1,33 @@
+(** Batched audit verification (§VI).
+
+    Functionally equivalent to {!Protocol.verify} but all sampled
+    signature checks — across sub-tasks, and across *executions from
+    different users* — collapse into one aggregate designated-verifier
+    equation, so the pairing count is constant in the batch size. *)
+
+type job = {
+  owner : string; (* whose data the execution reads *)
+  commitment : Protocol.commitment;
+  challenge : Protocol.challenge;
+  responses : Sc_compute.Executor.response list;
+}
+
+val verify_jobs :
+  Sc_ibc.Setup.public ->
+  verifier_key:Sc_ibc.Setup.identity_key ->
+  role:[ `Cs | `Da ] ->
+  job list ->
+  Protocol.verdict
+(** One aggregated signature verification for the whole batch; Merkle
+    and recomputation checks run per sample as in Algorithm 1.  When
+    the aggregate rejects, the batch falls back to individual checks
+    to attribute blame, so the failure list still names indices. *)
+
+val pairings_used :
+  Sc_ibc.Setup.public ->
+  verifier_key:Sc_ibc.Setup.identity_key ->
+  role:[ `Cs | `Da ] ->
+  job list ->
+  Protocol.verdict * int
+(** Runs {!verify_jobs} and reports how many pairings it evaluated —
+    the quantity Table II and Figure 5 compare. *)

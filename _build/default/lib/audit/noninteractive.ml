@@ -1,0 +1,115 @@
+module Executor = Sc_compute.Executor
+
+type proof = {
+  commitment : Protocol.commitment;
+  epoch : int;
+  responses : Executor.response list;
+}
+
+let derive_indices ~root ~epoch ~owner ~n_tasks ~samples =
+  let samples = min samples n_tasks in
+  (* Counter-mode expansion of the transcript seed into a stream of
+     candidate indices; duplicates are skipped so the sample is a
+     uniform-ish draw without replacement. *)
+  let seed =
+    Sc_hash.Sha256.digest_concat
+      [ "ni-audit:"; root; ":"; string_of_int epoch; ":"; owner ]
+  in
+  let chosen = Hashtbl.create samples in
+  let out = ref [] in
+  let counter = ref 0 in
+  while Hashtbl.length chosen < samples do
+    let block = Sc_hash.Sha256.digest_concat [ seed; string_of_int !counter ] in
+    incr counter;
+    (* 8 four-byte candidates per digest *)
+    let i = ref 0 in
+    while !i < 8 && Hashtbl.length chosen < samples do
+      let off = 4 * !i in
+      let v =
+        (Char.code block.[off] lsl 24)
+        lor (Char.code block.[off + 1] lsl 16)
+        lor (Char.code block.[off + 2] lsl 8)
+        lor Char.code block.[off + 3]
+      in
+      let idx = v mod n_tasks in
+      if not (Hashtbl.mem chosen idx) then begin
+        Hashtbl.add chosen idx ();
+        out := idx :: !out
+      end;
+      incr i
+    done
+  done;
+  List.rev !out
+
+let prove _pub ~owner ~epoch ~samples execution =
+  let commitment = Protocol.commitment_of_execution execution in
+  let indices =
+    derive_indices ~root:commitment.Protocol.root ~epoch ~owner
+      ~n_tasks:commitment.Protocol.n_tasks ~samples
+  in
+  { commitment; epoch; responses = List.map (Executor.respond execution) indices }
+
+let verify pub ~verifier_key ~role ~owner ~expected_epoch ~samples proof =
+  if proof.epoch <> expected_epoch then
+    { Protocol.valid = false; failures = [ Protocol.Warrant_invalid ] }
+  else begin
+    let indices =
+      derive_indices ~root:proof.commitment.Protocol.root ~epoch:proof.epoch
+        ~owner ~n_tasks:proof.commitment.Protocol.n_tasks ~samples
+    in
+    let provided =
+      List.map (fun (r : Executor.response) -> r.Executor.task_index) proof.responses
+    in
+    if List.sort compare provided <> List.sort compare indices then
+      {
+        Protocol.valid = false;
+        failures = List.map (fun i -> Protocol.Missing_response i) indices;
+      }
+    else begin
+      (* Reuse Algorithm 1's verification with a synthetic challenge
+         carrying the derived indices; the warrant is not part of the
+         non-interactive flow, so verification goes through the
+         lower-level checks directly. *)
+      let run_algorithm1_checks () =
+        let failures = ref [] in
+        let fail f = failures := f :: !failures in
+        if not
+             (Sc_ibc.Ibs.verify pub ~signer:proof.commitment.Protocol.cs_id
+                ~msg:("root:" ^ proof.commitment.Protocol.root)
+                proof.commitment.Protocol.root_signature)
+        then fail Protocol.Root_signature_wrong;
+        List.iter
+          (fun (resp : Executor.response) ->
+            let i = resp.Executor.task_index in
+            (match resp.Executor.read with
+            | None -> fail (Protocol.Signature_wrong i)
+            | Some { Sc_storage.Server.claimed; signed } ->
+              if not
+                   (Sc_storage.Signer.verify_block pub ~verifier_key ~role
+                      ~owner claimed signed)
+              then fail (Protocol.Signature_wrong i);
+              (match
+                 Sc_compute.Task.eval resp.Executor.request.Sc_compute.Task.func
+                   claimed
+               with
+              | Some y when y = resp.Executor.result -> ()
+              | Some _ | None -> fail (Protocol.Computing_wrong i));
+              if
+                claimed.Sc_storage.Block.index
+                <> resp.Executor.request.Sc_compute.Task.position
+              then fail (Protocol.Signature_wrong i));
+            let leaf =
+              Executor.leaf_payload ~result:resp.Executor.result
+                ~position:resp.Executor.request.Sc_compute.Task.position
+            in
+            if not
+                 (Sc_merkle.Tree.verify_proof
+                    ~root:proof.commitment.Protocol.root ~leaf_payload:leaf
+                    resp.Executor.proof)
+            then fail (Protocol.Root_wrong i))
+          proof.responses;
+        { Protocol.valid = !failures = []; failures = List.rev !failures }
+      in
+      run_algorithm1_checks ()
+    end
+  end

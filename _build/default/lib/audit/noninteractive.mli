@@ -1,0 +1,51 @@
+(** Non-interactive computation audits (Fiat–Shamir flavour).
+
+    An extension over the paper's interactive Algorithm 1: the sample
+    indices are *derived* rather than chosen — t distinct indices are
+    expanded from H(root ‖ epoch ‖ owner), so
+
+    - the server can assemble the whole proof (commitment + derived
+      responses) with no challenge round-trip;
+    - the server cannot steer the sample: indices are fixed by the
+      very root it committed to, and change every epoch;
+    - any designated verifier re-derives the indices and runs the
+      same three checks as Algorithm 1.
+
+    The binding argument is the Merkle commitment: to bias the sample
+    the server would have to grind roots, but every candidate root
+    re-randomizes which leaves are opened *and* remains bound to the
+    signed data via the per-block signatures. *)
+
+type proof = {
+  commitment : Protocol.commitment;
+  epoch : int;
+  responses : Sc_compute.Executor.response list;
+}
+
+val derive_indices :
+  root:string -> epoch:int -> owner:string -> n_tasks:int -> samples:int -> int list
+(** The deterministic sample: [samples] distinct indices in
+    [\[0, n_tasks)], expanded from SHA-256 in counter mode.  [samples]
+    is clamped to [n_tasks]. *)
+
+val prove :
+  Sc_ibc.Setup.public ->
+  owner:string ->
+  epoch:int ->
+  samples:int ->
+  Sc_compute.Executor.execution ->
+  proof
+(** Server side: commit, derive, respond. *)
+
+val verify :
+  Sc_ibc.Setup.public ->
+  verifier_key:Sc_ibc.Setup.identity_key ->
+  role:[ `Cs | `Da ] ->
+  owner:string ->
+  expected_epoch:int ->
+  samples:int ->
+  proof ->
+  Protocol.verdict
+(** Re-derives the indices from the proof's own root and runs the
+    Algorithm-1 checks; rejects stale epochs and index sets that do
+    not match the derivation. *)

@@ -1,0 +1,62 @@
+type costs = {
+  a1 : float;
+  a2 : float;
+  a3 : float;
+  c_trans : float;
+  c_comp : float;
+  c_cheat : float;
+}
+
+let total_cost k ~cheat_prob ~t =
+  if t < 0 then invalid_arg "Optimal.total_cost: negative t";
+  (k.a1 *. float_of_int t *. k.c_trans)
+  +. (k.a2 *. k.c_comp)
+  +. (k.a3 *. k.c_cheat *. (cheat_prob ** float_of_int t))
+
+let optimal_t k ~cheat_prob =
+  if not (cheat_prob > 0.0 && cheat_prob < 1.0)
+  then invalid_arg "Optimal.optimal_t: cheat_prob must be in (0,1)";
+  let lnq = log cheat_prob in
+  let ratio = -.(k.a1 *. k.c_trans) /. (k.a3 *. k.c_cheat *. lnq) in
+  if ratio <= 0.0 then 0
+  else begin
+    let t_star = log ratio /. lnq in
+    max 0 (int_of_float (ceil t_star))
+  end
+
+let argmin_t ?(t_max = 10_000) k ~cheat_prob =
+  let rec go best_t best_cost t =
+    if t > t_max then best_t
+    else begin
+      let c = total_cost k ~cheat_prob ~t in
+      if c < best_cost then go t c (t + 1) else go best_t best_cost (t + 1)
+    end
+  in
+  go 0 (total_cost k ~cheat_prob ~t:0) 1
+
+type audit_record = {
+  samples : int;
+  bytes_transferred : float;
+  recompute_seconds : float;
+  undetected_cheat_damage : float option;
+}
+
+let learn_costs ?(a1 = 1.0) ?(a2 = 1.0) ?(a3 = 1.0) records =
+  if records = [] then invalid_arg "Optimal.learn_costs: empty history";
+  let total_samples =
+    List.fold_left (fun acc r -> acc + r.samples) 0 records
+  in
+  if total_samples = 0 then invalid_arg "Optimal.learn_costs: zero samples";
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 records in
+  let c_trans = sum (fun r -> r.bytes_transferred) /. float_of_int total_samples in
+  let c_comp = sum (fun r -> r.recompute_seconds) /. float_of_int (List.length records) in
+  let damages =
+    List.filter_map (fun r -> r.undetected_cheat_damage) records
+  in
+  let c_cheat =
+    match damages with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left ( +. ) 0.0 damages /. float_of_int (List.length damages)
+  in
+  { a1; a2; a3; c_trans; c_comp; c_cheat }

@@ -1,0 +1,47 @@
+(** Optimal sample-set size (§VII-C, Theorem 3).
+
+    Total auditing cost for sample size t:
+
+      C_total(t) = a1·t·C_trans + a2·C_comp + a3·C_cheat·g^t    (eq. 17)
+
+    where g is the per-audit probability of successful cheating.  The
+    closed-form minimiser is
+
+      t* = ⌈ ln(−a1·C_trans / (a3·C_cheat·ln g)) / ln g ⌉        (eq. 18)
+
+    The cost coefficients are "evaluated through a history learning
+    process" in the paper; {!learn_costs} implements that from audit
+    records. *)
+
+type costs = {
+  a1 : float;
+  a2 : float;
+  a3 : float;
+  c_trans : float; (* per sampled message-signature pair *)
+  c_comp : float; (* per sampled recomputation *)
+  c_cheat : float; (* damage of an undetected cheat *)
+}
+
+val total_cost : costs -> cheat_prob:float -> t:int -> float
+
+val optimal_t : costs -> cheat_prob:float -> int
+(** Theorem 3's closed form, clamped to ≥ 0.
+    @raise Invalid_argument unless [0 < cheat_prob < 1]. *)
+
+val argmin_t : ?t_max:int -> costs -> cheat_prob:float -> int
+(** Exhaustive minimiser over [0, t_max] (default 10_000) — used to
+    validate the closed form. *)
+
+type audit_record = {
+  samples : int;
+  bytes_transferred : float;
+  recompute_seconds : float;
+  undetected_cheat_damage : float option;
+      (** Damage observed when a cheat later surfaced undetected. *)
+}
+
+val learn_costs :
+  ?a1:float -> ?a2:float -> ?a3:float -> audit_record list -> costs
+(** Per-sample averages from history (the a coefficients default
+    to 1).  @raise Invalid_argument on an empty or zero-sample
+    history. *)

@@ -1,0 +1,112 @@
+module Setup = Sc_ibc.Setup
+module Ibs = Sc_ibc.Ibs
+module Warrant = Sc_ibc.Warrant
+module Merkle = Sc_merkle.Tree
+module Executor = Sc_compute.Executor
+module Task = Sc_compute.Task
+module Signer = Sc_storage.Signer
+
+type commitment = {
+  root : string;
+  root_signature : Ibs.t;
+  cs_id : string;
+  n_tasks : int;
+}
+
+let commitment_of_execution e =
+  {
+    root = Executor.root e;
+    root_signature = Executor.root_signature e;
+    cs_id = Executor.server_id e;
+    n_tasks = List.length (Executor.service e);
+  }
+
+type challenge = { sample_indices : int list; warrant : Warrant.signed }
+
+type failure =
+  | Warrant_invalid
+  | Missing_response of int
+  | Signature_wrong of int
+  | Computing_wrong of int
+  | Root_wrong of int
+  | Root_signature_wrong
+
+type verdict = { valid : bool; failures : failure list }
+
+let pp_failure fmt = function
+  | Warrant_invalid -> Format.pp_print_string fmt "warrant invalid or expired"
+  | Missing_response i -> Format.fprintf fmt "missing response for sample %d" i
+  | Signature_wrong i -> Format.fprintf fmt "IsSignatureWrong(%d)" i
+  | Computing_wrong i -> Format.fprintf fmt "IsComputingWrong(%d)" i
+  | Root_wrong i -> Format.fprintf fmt "IsRootWrong(%d)" i
+  | Root_signature_wrong -> Format.pp_print_string fmt "root signature invalid"
+
+let make_challenge ~drbg ~n_tasks ~samples ~warrant =
+  let samples = min samples n_tasks in
+  let idx = Array.init n_tasks (fun i -> i) in
+  for i = 0 to samples - 1 do
+    let j = i + Sc_hash.Drbg.uniform_int drbg (n_tasks - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  { sample_indices = List.init samples (fun i -> idx.(i)); warrant }
+
+let respond pub ~now execution chal =
+  if not (Warrant.verify pub ~now chal.warrant) then None
+  else Some (List.map (Executor.respond execution) chal.sample_indices)
+
+(* The three per-sample checks of Algorithm 1. *)
+let check_sample pub ~verifier_key ~role ~owner ~commitment
+    (resp : Executor.response) =
+  let i = resp.Executor.task_index in
+  let failures = ref [] in
+  let fail f = failures := f :: !failures in
+  (match resp.Executor.read with
+  | None -> fail (Signature_wrong i)
+  | Some { Sc_storage.Server.claimed; signed } ->
+    (* 1. IsSignatureWrong: the designated signature must cover the
+       claimed (file, position, data). *)
+    if not (Signer.verify_block pub ~verifier_key ~role ~owner claimed signed)
+    then fail (Signature_wrong i);
+    (* 2. IsComputingWrong: recompute f_i on the claimed data. *)
+    (match Task.eval resp.Executor.request.Task.func claimed with
+    | Some y when y = resp.Executor.result -> ()
+    | Some _ | None -> fail (Computing_wrong i));
+    (* Consistency: the block must be claimed at the audited position. *)
+    if claimed.Sc_storage.Block.index <> resp.Executor.request.Task.position
+    then fail (Signature_wrong i));
+  (* 3. IsRootWrong: rebuild R* from the leaf and its siblings. *)
+  let leaf =
+    Executor.leaf_payload ~result:resp.Executor.result
+      ~position:resp.Executor.request.Task.position
+  in
+  if not
+       (Merkle.verify_proof ~root:commitment.root ~leaf_payload:leaf
+          resp.Executor.proof)
+  then fail (Root_wrong i);
+  !failures
+
+let verify pub ~verifier_key ~role ~owner commitment chal responses =
+  let failures = ref [] in
+  let fail f = failures := f :: !failures in
+  (* Root commitment authenticity: Sig_CS(R). *)
+  if not
+       (Ibs.verify pub ~signer:commitment.cs_id
+          ~msg:("root:" ^ commitment.root)
+          commitment.root_signature)
+  then fail Root_signature_wrong;
+  let by_index =
+    List.fold_left
+      (fun acc (r : Executor.response) -> (r.Executor.task_index, r) :: acc)
+      [] responses
+  in
+  List.iter
+    (fun i ->
+      match List.assoc_opt i by_index with
+      | None -> fail (Missing_response i)
+      | Some resp ->
+        List.iter fail
+          (check_sample pub ~verifier_key ~role ~owner ~commitment resp))
+    chal.sample_indices;
+  { valid = !failures = []; failures = List.rev !failures }

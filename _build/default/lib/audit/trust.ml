@@ -1,0 +1,71 @@
+type record = { mutable audits : int; mutable failures : int; mutable streak : int }
+
+type t = (string, record) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let find t server =
+  match Hashtbl.find_opt t server with
+  | Some r -> r
+  | None ->
+    let r = { audits = 0; failures = 0; streak = 0 } in
+    Hashtbl.add t server r;
+    r
+
+let record t ~server ~passed =
+  let r = find t server in
+  r.audits <- r.audits + 1;
+  if passed then r.streak <- r.streak + 1
+  else begin
+    r.failures <- r.failures + 1;
+    r.streak <- 0
+  end
+
+let audits t ~server = (find t server).audits
+let failures t ~server = (find t server).failures
+let clean_streak t ~server = (find t server).streak
+
+let estimate t ~server =
+  let r = find t server in
+  float_of_int (r.audits - r.failures + 1) /. float_of_int (r.audits + 2)
+
+type policy = {
+  eps : float;
+  range : float;
+  assumed_csc : float;
+  assumed_ssc : float;
+  relaxation : float;
+  max_relaxation : float;
+  min_samples : int;
+  max_samples : int;
+}
+
+let default_policy =
+  {
+    eps = 1e-4;
+    range = infinity;
+    assumed_csc = 0.5;
+    assumed_ssc = 0.5;
+    relaxation = 0.2;
+    max_relaxation = 10.0;
+    min_samples = 4;
+    max_samples = 200;
+  }
+
+let recommended_samples t policy ~server =
+  let streak = clean_streak t ~server in
+  let earned = 1.0 +. (float_of_int streak *. policy.relaxation) in
+  let eps_eff = policy.eps *. Float.min earned policy.max_relaxation in
+  let base =
+    match
+      Sampling.required_samples ~csc:policy.assumed_csc
+        ~ssc:policy.assumed_ssc ~range:policy.range ~sig_forge:1e-9
+        ~eps:eps_eff ()
+    with
+    | Some required -> required
+    | None -> policy.max_samples
+  in
+  max policy.min_samples (min policy.max_samples base)
+
+let distrust_threshold = 0.2
+let should_drop t ~server = estimate t ~server < distrust_threshold

@@ -1,0 +1,55 @@
+(** Adaptive per-server audit scheduling.
+
+    An extension over the paper's fixed-t analysis: the DA tracks each
+    server's audit history (Beta–Bernoulli posterior over per-audit
+    honesty) and adapts the sample size —
+
+    - the *security floor* comes from eq. (10)–(14):
+      t ≥ required_samples(CSC, SSC, ε_eff);
+    - a server with a long clean history earns a relaxed effective
+      target ε_eff = ε·(1 + clean_streak·relaxation), capped at
+      [max_relaxation]; any failure resets the streak, snapping t back
+      to the conservative value;
+    - the result is clamped into [min_samples, max_samples].
+
+    This realizes the "history learning process" the paper sketches
+    for its cost model, applied to audit intensity. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> server:string -> passed:bool -> unit
+(** Feed one audit outcome. *)
+
+val audits : t -> server:string -> int
+val failures : t -> server:string -> int
+val clean_streak : t -> server:string -> int
+
+val estimate : t -> server:string -> float
+(** Posterior mean of the server's per-audit pass probability,
+    (passes + 1) / (audits + 2); 0.5 for unknown servers. *)
+
+type policy = {
+  eps : float; (* base per-audit cheating target *)
+  range : float; (* assumed |R| *)
+  assumed_csc : float; (* worst-case confidences to defend against *)
+  assumed_ssc : float;
+  relaxation : float; (* ε multiplier earned per clean audit *)
+  max_relaxation : float; (* cap on the earned multiplier *)
+  min_samples : int;
+  max_samples : int;
+}
+
+val default_policy : policy
+(** ε = 1e-4, |R| = ∞, CSC = SSC = 0.5, 20%% relaxation per clean
+    audit capped at 10×, t ∈ [4, 200]. *)
+
+val recommended_samples : t -> policy -> server:string -> int
+(** The adaptive t for the next audit of this server. *)
+
+val distrust_threshold : float
+(** Servers whose {!estimate} falls below this (0.2) should be
+    dropped; see {!should_drop}. *)
+
+val should_drop : t -> server:string -> bool

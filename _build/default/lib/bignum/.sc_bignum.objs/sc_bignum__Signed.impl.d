@@ -1,0 +1,1 @@
+lib/bignum/signed.ml: Format Nat Stdlib

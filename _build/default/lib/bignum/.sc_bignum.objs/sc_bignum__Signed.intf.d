@@ -1,0 +1,1 @@
+lib/bignum/signed.mli: Format Nat

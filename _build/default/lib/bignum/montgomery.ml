@@ -1,0 +1,139 @@
+let limb_bits = Nat.base_bits
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+type ctx = {
+  m : Nat.t;
+  m_limbs : int array; (* k limbs, k >= 1 *)
+  k : int;
+  m' : int; (* -m[0]^-1 mod B *)
+  r_mod_m : Nat.t; (* B^k mod m, the domain image of 1 *)
+}
+
+type mont = int array (* exactly k limbs, value < m *)
+
+(* Inverse of an odd limb modulo B by Newton iteration: for odd a,
+   a·a ≡ 1 (mod 8), and each step doubles the number of correct
+   low bits. *)
+let inv_limb a =
+  let x = ref a in
+  for _ = 1 to 4 do
+    (* Mask the inner term before multiplying so the product stays
+       below 2^52. *)
+    let t = (2 - (a * !x)) land mask in
+    x := !x * t land mask
+  done;
+  !x land mask
+
+let create m =
+  if Nat.compare m (Nat.of_int 3) < 0 || Nat.is_even m
+  then invalid_arg "Montgomery.create: modulus must be odd and >= 3";
+  let m_limbs = Nat.to_limbs m in
+  let k = Array.length m_limbs in
+  let m' = (base - inv_limb m_limbs.(0)) land mask in
+  let r_mod_m = Nat.rem (Nat.shift_left Nat.one (k * limb_bits)) m in
+  { m; m_limbs; k; m'; r_mod_m }
+
+let modulus ctx = ctx.m
+
+(* REDC on a scratch buffer of 2k+1 limbs holding T < m·B^k:
+   returns T·B^-k mod m as a k-limb array. *)
+let redc ctx t =
+  let k = ctx.k and m = ctx.m_limbs in
+  for i = 0 to k - 1 do
+    let u = t.(i) * ctx.m' land mask in
+    let carry = ref 0 in
+    for j = 0 to k - 1 do
+      let x = t.(i + j) + (u * m.(j)) + !carry in
+      t.(i + j) <- x land mask;
+      carry := x lsr limb_bits
+    done;
+    let j = ref (i + k) in
+    while !carry > 0 do
+      let x = t.(!j) + !carry in
+      t.(!j) <- x land mask;
+      carry := x lsr limb_bits;
+      incr j
+    done
+  done;
+  let out = Array.sub t k (k + 1) in
+  (* out < 2m, one conditional subtraction suffices. *)
+  let ge =
+    if out.(k) > 0 then true
+    else begin
+      let rec cmp i =
+        if i < 0 then true
+        else if out.(i) <> m.(i) then out.(i) > m.(i)
+        else cmp (i - 1)
+      in
+      cmp (k - 1)
+    end
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for i = 0 to k - 1 do
+      let d = out.(i) - m.(i) - !borrow in
+      if d < 0 then begin
+        out.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        out.(i) <- d;
+        borrow := 0
+      end
+    done
+  end;
+  Array.sub out 0 k
+
+(* Multiply two k-limb operands into a fresh (2k+1)-limb buffer. *)
+let mul_into ctx a b =
+  let k = ctx.k in
+  let t = Array.make ((2 * k) + 1) 0 in
+  for i = 0 to k - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to k - 1 do
+        let x = t.(i + j) + (ai * b.(j)) + !carry in
+        t.(i + j) <- x land mask;
+        carry := x lsr limb_bits
+      done;
+      t.(i + k) <- t.(i + k) + !carry
+    end
+  done;
+  t
+
+let pad ctx limbs =
+  if Array.length limbs = ctx.k then limbs
+  else begin
+    let out = Array.make ctx.k 0 in
+    Array.blit limbs 0 out 0 (Array.length limbs);
+    out
+  end
+
+let to_mont ctx a =
+  let reduced = Nat.rem a ctx.m in
+  let shifted = Nat.rem (Nat.shift_left reduced (ctx.k * limb_bits)) ctx.m in
+  pad ctx (Nat.to_limbs shifted)
+
+let of_mont ctx (a : mont) =
+  let t = Array.make ((2 * ctx.k) + 1) 0 in
+  Array.blit a 0 t 0 ctx.k;
+  Nat.of_limbs (redc ctx t)
+
+let one ctx = pad ctx (Nat.to_limbs ctx.r_mod_m)
+let mul ctx a b = redc ctx (mul_into ctx a b)
+let sqr ctx a = mul ctx a a
+
+let pow ctx b e =
+  let b = to_mont ctx b in
+  let nbits = Nat.bit_length e in
+  if nbits = 0 then Nat.rem Nat.one ctx.m
+  else begin
+    let acc = ref (one ctx) in
+    for i = nbits - 1 downto 0 do
+      acc := sqr ctx !acc;
+      if Nat.test_bit e i then acc := mul ctx !acc b
+    done;
+    of_mont ctx !acc
+  end

@@ -1,0 +1,33 @@
+(** Montgomery multiplication (REDC) for odd moduli.
+
+    Operands are kept in the Montgomery domain (a·R mod m with
+    R = B^k, B = 2^26, k the limb count of m), where a modular
+    multiplication costs one fused multiply-reduce instead of a
+    multiplication plus a Barrett reduction.  Used by
+    {!Modular.pow}-style exponentiation ladders; see {!pow} for a
+    drop-in entry point. *)
+
+type ctx
+
+val create : Nat.t -> ctx
+(** @raise Invalid_argument unless the modulus is odd and ≥ 3. *)
+
+val modulus : ctx -> Nat.t
+
+type mont
+(** A residue in the Montgomery domain. *)
+
+val to_mont : ctx -> Nat.t -> mont
+(** Reduces its argument modulo m first, so any natural is accepted. *)
+
+val of_mont : ctx -> mont -> Nat.t
+
+val one : ctx -> mont
+(** R mod m, the domain image of 1. *)
+
+val mul : ctx -> mont -> mont -> mont
+val sqr : ctx -> mont -> mont
+
+val pow : ctx -> Nat.t -> Nat.t -> Nat.t
+(** [pow ctx b e] = b^e mod m, entirely inside the Montgomery domain.
+    Functionally identical to {!Modular.pow} for odd moduli. *)

@@ -1,0 +1,20 @@
+(** Primality testing and prime generation.
+
+    Randomness is supplied externally as a [bytes_source : int ->
+    string] function (e.g. an HMAC-DRBG), keeping this library free of
+    entropy dependencies and making generation reproducible. *)
+
+val small_primes : int array
+(** The primes below 10_000, used for trial-division prefiltering. *)
+
+val is_probably_prime :
+  ?rounds:int -> bytes_source:(int -> string) -> Nat.t -> bool
+(** Miller–Rabin with [rounds] random bases (default 32) after trial
+    division by {!small_primes}. *)
+
+val next_prime : bytes_source:(int -> string) -> Nat.t -> Nat.t
+(** Smallest probable prime greater than or equal to the argument. *)
+
+val random_prime : bytes_source:(int -> string) -> bits:int -> Nat.t
+(** A random probable prime with exactly [bits] bits (top bit set).
+    @raise Invalid_argument when [bits < 2]. *)

@@ -1,0 +1,1 @@
+lib/bls/bls.ml: Curve List Nat Sc_bignum Sc_ec Sc_pairing String

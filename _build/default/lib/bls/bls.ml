@@ -1,0 +1,38 @@
+open Sc_bignum
+open Sc_ec
+module Params = Sc_pairing.Params
+module Tate = Sc_pairing.Tate
+module Hash_g1 = Sc_pairing.Hash_g1
+
+type keypair = { x : Nat.t; pk : Curve.point }
+
+let generate (prm : Params.t) ~bytes_source =
+  let x = Params.random_scalar prm ~bytes_source in
+  { x; pk = Params.mul_g prm x }
+
+let hash_msg prm msg = Hash_g1.hash_to_point prm ("bls:" ^ msg)
+let sign (prm : Params.t) kp msg = Curve.mul prm.curve kp.x (hash_msg prm msg)
+
+let verify (prm : Params.t) pk msg sigma =
+  Curve.on_curve prm.curve sigma
+  && Tate.gt_equal
+       (Tate.pairing prm sigma prm.g)
+       (Tate.pairing prm (hash_msg prm msg) pk)
+
+let aggregate (prm : Params.t) sigmas =
+  List.fold_left (Curve.add prm.curve) Curve.infinity sigmas
+
+let verify_aggregate (prm : Params.t) entries sigma =
+  let msgs = List.map snd entries in
+  let distinct = List.length (List.sort_uniq String.compare msgs) = List.length msgs in
+  distinct
+  && Curve.on_curve prm.curve sigma
+  &&
+  let lhs = Tate.pairing prm sigma prm.g in
+  let rhs =
+    List.fold_left
+      (fun acc (pk, msg) ->
+        Tate.gt_mul prm acc (Tate.pairing prm (hash_msg prm msg) pk))
+      Tate.gt_one entries
+  in
+  Tate.gt_equal lhs rhs

@@ -1,0 +1,1 @@
+lib/compute/executor.mli: Sc_hash Sc_ibc Sc_merkle Sc_storage Task

@@ -1,0 +1,1 @@
+lib/compute/task.ml: List Option Printf Sc_hash Sc_storage String

@@ -1,0 +1,1 @@
+lib/compute/task.mli: Sc_hash Sc_storage

@@ -1,0 +1,1 @@
+lib/ec/curve.ml: Array Char Format Fp Nat Sc_bignum Sc_field String

@@ -1,0 +1,1 @@
+lib/ec/curve.mli: Format Fp Nat Sc_bignum Sc_field

@@ -1,0 +1,261 @@
+open Sc_bignum
+open Sc_field
+
+type t = { fld : Fp.ctx; a : Fp.el; b : Fp.el; coord_bytes : int }
+type point = Infinity | Affine of Fp.el * Fp.el
+
+let create fld ~a ~b =
+  (* Reject singular curves: 4a³ + 27b² ≠ 0. *)
+  let disc =
+    Fp.add fld
+      (Fp.mul fld (Fp.of_int fld 4) (Fp.mul fld a (Fp.sqr fld a)))
+      (Fp.mul fld (Fp.of_int fld 27) (Fp.sqr fld b))
+  in
+  if Fp.is_zero disc then invalid_arg "Curve.create: singular curve";
+  let coord_bytes = (Nat.bit_length (Fp.characteristic fld) + 7) / 8 in
+  { fld; a; b; coord_bytes }
+
+let field c = c.fld
+let coeff_a c = c.a
+let coeff_b c = c.b
+let infinity = Infinity
+
+let is_infinity = function Infinity -> true | Affine _ -> false
+
+let equal p q =
+  match p, q with
+  | Infinity, Infinity -> true
+  | Affine (x1, y1), Affine (x2, y2) -> Fp.equal x1 x2 && Fp.equal y1 y2
+  | Infinity, Affine _ | Affine _, Infinity -> false
+
+(* x³ + ax + b *)
+let rhs c x =
+  let f = c.fld in
+  Fp.add f (Fp.mul f x (Fp.add f (Fp.sqr f x) c.a)) c.b
+
+let on_curve c = function
+  | Infinity -> true
+  | Affine (x, y) -> Fp.equal (Fp.sqr c.fld y) (rhs c x)
+
+let neg c = function
+  | Infinity -> Infinity
+  | Affine (x, y) -> Affine (x, Fp.neg c.fld y)
+
+let double c p =
+  match p with
+  | Infinity -> Infinity
+  | Affine (x, y) ->
+    let f = c.fld in
+    if Fp.is_zero y then Infinity
+    else begin
+      (* λ = (3x² + a) / 2y *)
+      let num = Fp.add f (Fp.mul f (Fp.of_int f 3) (Fp.sqr f x)) c.a in
+      let lam = Fp.div f num (Fp.double f y) in
+      let x3 = Fp.sub f (Fp.sqr f lam) (Fp.double f x) in
+      let y3 = Fp.sub f (Fp.mul f lam (Fp.sub f x x3)) y in
+      Affine (x3, y3)
+    end
+
+let add c p q =
+  match p, q with
+  | Infinity, r | r, Infinity -> r
+  | Affine (x1, y1), Affine (x2, y2) ->
+    let f = c.fld in
+    if Fp.equal x1 x2 then begin
+      if Fp.equal y1 y2 then double c p else Infinity
+    end
+    else begin
+      let lam = Fp.div f (Fp.sub f y2 y1) (Fp.sub f x2 x1) in
+      let x3 = Fp.sub f (Fp.sub f (Fp.sqr f lam) x1) x2 in
+      let y3 = Fp.sub f (Fp.mul f lam (Fp.sub f x1 x3)) y1 in
+      Affine (x3, y3)
+    end
+
+let sub c p q = add c p (neg c q)
+
+(* Jacobian coordinates (X : Y : Z) with x = X/Z², y = Y/Z³; Z = 0
+   encodes the point at infinity.  Scalar multiplication runs in
+   Jacobian form so that the whole ladder needs a single field
+   inversion, instead of one per group operation. *)
+type jac = { jx : Fp.el; jy : Fp.el; jz : Fp.el }
+
+let jac_infinity = { jx = Fp.one; jy = Fp.one; jz = Fp.zero }
+
+let jac_of_point = function
+  | Infinity -> jac_infinity
+  | Affine (x, y) -> { jx = x; jy = y; jz = Fp.one }
+
+let point_of_jac c j =
+  let f = c.fld in
+  if Fp.is_zero j.jz then Infinity
+  else begin
+    let zinv = Fp.inv f j.jz in
+    let zinv2 = Fp.sqr f zinv in
+    Affine (Fp.mul f j.jx zinv2, Fp.mul f j.jy (Fp.mul f zinv2 zinv))
+  end
+
+(* dbl-2007-bl, valid for any curve coefficient a. *)
+let jdouble c j =
+  let f = c.fld in
+  if Fp.is_zero j.jz || Fp.is_zero j.jy then jac_infinity
+  else begin
+    let xx = Fp.sqr f j.jx in
+    let yy = Fp.sqr f j.jy in
+    let yyyy = Fp.sqr f yy in
+    let zz = Fp.sqr f j.jz in
+    let s =
+      Fp.double f
+        (Fp.sub f (Fp.sub f (Fp.sqr f (Fp.add f j.jx yy)) xx) yyyy)
+    in
+    let m =
+      Fp.add f
+        (Fp.add f (Fp.double f xx) xx)
+        (Fp.mul f c.a (Fp.sqr f zz))
+    in
+    let t = Fp.sub f (Fp.sqr f m) (Fp.double f s) in
+    let y3 =
+      Fp.sub f
+        (Fp.mul f m (Fp.sub f s t))
+        (Fp.double f (Fp.double f (Fp.double f yyyy)))
+    in
+    let z3 = Fp.sub f (Fp.sub f (Fp.sqr f (Fp.add f j.jy j.jz)) yy) zz in
+    { jx = t; jy = y3; jz = z3 }
+  end
+
+(* madd-2007-bl: mixed addition with an affine second operand. *)
+let jadd_mixed c j x2 y2 =
+  let f = c.fld in
+  if Fp.is_zero j.jz then { jx = x2; jy = y2; jz = Fp.one }
+  else begin
+    let z1z1 = Fp.sqr f j.jz in
+    let u2 = Fp.mul f x2 z1z1 in
+    let s2 = Fp.mul f y2 (Fp.mul f j.jz z1z1) in
+    if Fp.equal u2 j.jx then begin
+      if Fp.equal s2 j.jy then jdouble c j else jac_infinity
+    end
+    else begin
+      let h = Fp.sub f u2 j.jx in
+      let hh = Fp.sqr f h in
+      let i = Fp.double f (Fp.double f hh) in
+      let jj = Fp.mul f h i in
+      let r = Fp.double f (Fp.sub f s2 j.jy) in
+      let v = Fp.mul f j.jx i in
+      let x3 = Fp.sub f (Fp.sub f (Fp.sqr f r) jj) (Fp.double f v) in
+      let y3 =
+        Fp.sub f
+          (Fp.mul f r (Fp.sub f v x3))
+          (Fp.double f (Fp.mul f j.jy jj))
+      in
+      let z3 = Fp.sub f (Fp.sub f (Fp.sqr f (Fp.add f j.jz h)) z1z1) hh in
+      { jx = x3; jy = y3; jz = z3 }
+    end
+  end
+
+let mul c k p =
+  match p with
+  | Infinity -> Infinity
+  | Affine (px, py) ->
+    if Nat.is_zero k then Infinity
+    else begin
+      let nbits = Nat.bit_length k in
+      let rec go acc i =
+        if i < 0 then acc
+        else begin
+          let acc = jdouble c acc in
+          let acc = if Nat.test_bit k i then jadd_mixed c acc px py else acc in
+          go acc (i - 1)
+        end
+      in
+      point_of_jac c (go (jac_of_point p) (nbits - 2))
+    end
+
+let mul_int c k p =
+  if k < 0 then neg c (mul c (Nat.of_int (-k)) p) else mul c (Nat.of_int k) p
+
+(* Fixed-base comb: table.(w).(d) = d·16^w·P in affine form, so a
+   b-bit scalar costs ⌈b/4⌉ mixed additions and zero doublings. *)
+type precomp = { tables : point array array; bits : int }
+
+let precompute c ~bits p =
+  if bits <= 0 then invalid_arg "Curve.precompute: bits <= 0";
+  let nwindows = (bits + 3) / 4 in
+  let tables =
+    Array.init nwindows (fun _ -> Array.make 16 Infinity)
+  in
+  let base = ref p in
+  for w = 0 to nwindows - 1 do
+    for d = 1 to 15 do
+      tables.(w).(d) <- add c tables.(w).(d - 1) !base
+    done;
+    (* advance base to 16^(w+1)·P *)
+    base := double c (double c (double c (double c !base)))
+  done;
+  { tables; bits }
+
+let mul_precomp c pc k =
+  if Nat.bit_length k > pc.bits then
+    invalid_arg "Curve.mul_precomp: scalar exceeds precomputed range";
+  let bit i = if Nat.test_bit k i then 1 else 0 in
+  let nwindows = Array.length pc.tables in
+  let acc = ref jac_infinity in
+  for w = 0 to nwindows - 1 do
+    let d =
+      (bit ((4 * w) + 3) lsl 3)
+      lor (bit ((4 * w) + 2) lsl 2)
+      lor (bit ((4 * w) + 1) lsl 1)
+      lor bit (4 * w)
+    in
+    if d <> 0 then begin
+      match pc.tables.(w).(d) with
+      | Infinity -> ()
+      | Affine (x, y) -> acc := jadd_mixed c !acc x y
+    end
+  done;
+  point_of_jac c !acc
+
+let lift_x c x =
+  match Fp.sqrt c.fld (rhs c x) with
+  | None -> None
+  | Some y ->
+    (* Pick the root with even least-significant bit for determinism. *)
+    let y = if Nat.test_bit (Fp.to_nat y) 0 then Fp.neg c.fld y else y in
+    Some (Affine (x, y))
+
+let random c ~bytes_source =
+  let rec draw () =
+    let x = Fp.random c.fld ~bytes_source in
+    match lift_x c x with
+    | Some (Affine (_, y) as pt) ->
+      (* Use one extra random bit to pick the sign of y. *)
+      let flip = Char.code (bytes_source 1).[0] land 1 = 1 in
+      if flip then Affine (x, Fp.neg c.fld y) else pt
+    | Some Infinity | None -> draw ()
+  in
+  draw ()
+
+let to_bytes c = function
+  | Infinity -> "\x00"
+  | Affine (x, y) ->
+    let n = c.coord_bytes in
+    "\x04"
+    ^ Nat.to_bytes_be ~len:n (Fp.to_nat x)
+    ^ Nat.to_bytes_be ~len:n (Fp.to_nat y)
+
+let of_bytes c s =
+  let n = c.coord_bytes in
+  if s = "\x00" then Some Infinity
+  else if String.length s = (2 * n) + 1 && s.[0] = '\x04' then begin
+    let x = Nat.of_bytes_be (String.sub s 1 n) in
+    let y = Nat.of_bytes_be (String.sub s (n + 1) n) in
+    let p = Fp.characteristic c.fld in
+    if Nat.compare x p >= 0 || Nat.compare y p >= 0 then None
+    else begin
+      let pt = Affine (x, y) in
+      if on_curve c pt then Some pt else None
+    end
+  end
+  else None
+
+let pp fmt = function
+  | Infinity -> Format.pp_print_string fmt "O"
+  | Affine (x, y) -> Format.fprintf fmt "(%a, %a)" Fp.pp x Fp.pp y

@@ -1,0 +1,65 @@
+(** Short-Weierstrass elliptic curves y² = x³ + a·x + b over F_p, with
+    affine group law and windowed scalar multiplication.  This is the
+    group G1 of the pairing layer and the base group of the ECDSA
+    baseline. *)
+
+open Sc_bignum
+open Sc_field
+
+type t
+(** A curve: field context plus coefficients. *)
+
+type point = Infinity | Affine of Fp.el * Fp.el
+
+val create : Fp.ctx -> a:Fp.el -> b:Fp.el -> t
+(** @raise Invalid_argument when the curve is singular
+    (4a³ + 27b² = 0). *)
+
+val field : t -> Fp.ctx
+val coeff_a : t -> Fp.el
+val coeff_b : t -> Fp.el
+
+val infinity : point
+val is_infinity : point -> bool
+val equal : point -> point -> bool
+
+val on_curve : t -> point -> bool
+
+val neg : t -> point -> point
+val add : t -> point -> point -> point
+val double : t -> point -> point
+val sub : t -> point -> point -> point
+
+val mul : t -> Nat.t -> point -> point
+(** Scalar multiplication (4-bit fixed-window, left-to-right). *)
+
+val mul_int : t -> int -> point -> point
+
+type precomp
+(** Precomputed window tables for a fixed base point. *)
+
+val precompute : t -> bits:int -> point -> precomp
+(** Tables covering scalars up to [bits] bits (4-bit fixed windows,
+    entries normalized to affine).  Costs ~4·bits point operations
+    once; each subsequent {!mul_precomp} then needs only ~bits/4
+    mixed additions and no doublings. *)
+
+val mul_precomp : t -> precomp -> Nat.t -> point
+(** Scalar multiplication against the precomputed base.
+    @raise Invalid_argument if the scalar exceeds the table's range. *)
+
+val lift_x : t -> Fp.el -> point option
+(** A point with the given x-coordinate (the even-y root is chosen
+    deterministically), if one exists. *)
+
+val random : t -> bytes_source:(int -> string) -> point
+(** A uniformly random non-infinity point via rejection on x. *)
+
+val to_bytes : t -> point -> string
+(** Uncompressed encoding: 0x00 for infinity, else 0x04 ‖ x ‖ y with
+    fixed-width coordinates. *)
+
+val of_bytes : t -> string -> point option
+(** Decodes and validates curve membership. *)
+
+val pp : Format.formatter -> point -> unit

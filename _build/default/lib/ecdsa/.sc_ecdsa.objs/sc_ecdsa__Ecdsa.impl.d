@@ -1,0 +1,1 @@
+lib/ecdsa/ecdsa.ml: Curve Modular Nat Sc_bignum Sc_ec Sc_pairing

@@ -1,0 +1,1 @@
+lib/ecdsa/ecdsa.mli: Curve Nat Sc_bignum Sc_ec Sc_pairing

@@ -1,0 +1,50 @@
+open Sc_bignum
+open Sc_ec
+module Params = Sc_pairing.Params
+module Hash_g1 = Sc_pairing.Hash_g1
+
+type keypair = { d : Nat.t; q : Curve.point }
+type signature = { r : Nat.t; s : Nat.t }
+
+let generate (prm : Params.t) ~bytes_source =
+  let d = Params.random_scalar prm ~bytes_source in
+  { d; q = Params.mul_g prm d }
+
+let hash_msg prm msg = Hash_g1.hash_to_scalar prm ("ecdsa:" ^ msg)
+
+let sign (prm : Params.t) kp ~bytes_source msg =
+  let qmod = Modular.create prm.q in
+  let h = hash_msg prm msg in
+  let rec attempt () =
+    let k = Params.random_scalar prm ~bytes_source in
+    match Params.mul_g prm k with
+    | Curve.Infinity -> attempt ()
+    | Curve.Affine (x, _) ->
+      let r = Nat.rem x prm.q in
+      if Nat.is_zero r then attempt ()
+      else begin
+        let kinv = Modular.inv qmod k in
+        let s = Modular.mul qmod kinv (Modular.add qmod h (Modular.mul qmod r kp.d)) in
+        if Nat.is_zero s then attempt () else { r; s }
+      end
+  in
+  attempt ()
+
+let verify (prm : Params.t) pubkey msg { r; s } =
+  let qmod = Modular.create prm.q in
+  let in_range v = (not (Nat.is_zero v)) && Nat.compare v prm.q < 0 in
+  in_range r && in_range s
+  && Curve.on_curve prm.curve pubkey
+  && (not (Curve.is_infinity pubkey))
+  &&
+  let h = hash_msg prm msg in
+  match Modular.inv qmod s with
+  | exception Not_found -> false
+  | sinv ->
+    let u1 = Modular.mul qmod h sinv and u2 = Modular.mul qmod r sinv in
+    (match
+       Curve.add prm.curve (Params.mul_g prm u1)
+         (Curve.mul prm.curve u2 pubkey)
+     with
+    | Curve.Infinity -> false
+    | Curve.Affine (x, _) -> Nat.equal (Nat.rem x prm.q) r)

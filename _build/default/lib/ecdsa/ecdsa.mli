@@ -1,0 +1,21 @@
+(** ECDSA over the order-q subgroup of the pairing curve — the
+    "ECDSA" row of the paper's Table II.  (Any prime-order
+    short-Weierstrass group works; reusing the pairing group keeps the
+    comparison on identical field arithmetic.) *)
+
+open Sc_bignum
+open Sc_ec
+
+type keypair = { d : Nat.t; q : Curve.point }
+type signature = { r : Nat.t; s : Nat.t }
+
+val generate : Sc_pairing.Params.t -> bytes_source:(int -> string) -> keypair
+
+val sign :
+  Sc_pairing.Params.t ->
+  keypair ->
+  bytes_source:(int -> string) ->
+  string ->
+  signature
+
+val verify : Sc_pairing.Params.t -> Curve.point -> string -> signature -> bool

@@ -1,0 +1,1 @@
+lib/erasure/reed_solomon.ml: Array Bytes Char Gf256 List String

@@ -1,0 +1,57 @@
+(* exp/log tables built once at load.  exp is doubled in length so
+   products of logs never need an explicit mod 255. *)
+
+let exp_table = Array.make 512 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    (* multiply by the generator 0x03 = x + 1: shift-and-add with the
+       AES reduction. *)
+    let doubled = !x lsl 1 in
+    let doubled = if doubled land 0x100 <> 0 then doubled lxor 0x11B else doubled in
+    x := doubled lxor !x
+  done;
+  for i = 255 to 511 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done
+
+let check v name =
+  if v < 0 || v > 255 then invalid_arg ("Gf256: " ^ name ^ " out of range")
+
+let add a b =
+  check a "operand";
+  check b "operand";
+  a lxor b
+
+let sub = add
+
+let mul a b =
+  check a "operand";
+  check b "operand";
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a =
+  check a "operand";
+  if a = 0 then raise Division_by_zero;
+  exp_table.(255 - log_table.(a))
+
+let div a b = mul a (inv b)
+
+let pow a k =
+  check a "base";
+  if a = 0 then if k = 0 then 1 else 0
+  else begin
+    let e = log_table.(a) * (((k mod 255) + 255) mod 255) in
+    exp_table.(e mod 255)
+  end
+
+let exp i = exp_table.(((i mod 255) + 255) mod 255)
+
+let log a =
+  check a "operand";
+  if a = 0 then invalid_arg "Gf256.log: zero";
+  log_table.(a)

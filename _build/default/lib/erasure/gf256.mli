@@ -1,0 +1,23 @@
+(** The finite field GF(2⁸) with the AES reduction polynomial
+    x⁸ + x⁴ + x³ + x + 1 (0x11B), via exp/log tables on the generator
+    0x03.  Elements are ints in [0, 255]. *)
+
+val add : int -> int -> int
+(** Addition = XOR (characteristic 2). *)
+
+val sub : int -> int -> int
+(** Same as {!add}. *)
+
+val mul : int -> int -> int
+
+val inv : int -> int
+(** @raise Division_by_zero on 0. *)
+
+val div : int -> int -> int
+val pow : int -> int -> int
+
+val exp : int -> int
+(** Generator power table: [exp i] = 3^i (i taken mod 255). *)
+
+val log : int -> int
+(** Discrete log base 3; @raise Invalid_argument on 0. *)

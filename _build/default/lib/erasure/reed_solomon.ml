@@ -1,0 +1,130 @@
+type params = { k : int; n : int }
+
+let create ~k ~n =
+  if k < 1 || n < k || n > 255 then
+    invalid_arg "Reed_solomon.create: need 1 <= k <= n <= 255";
+  { k; n }
+
+(* Evaluation point for shard j: α^j (j < 255, all distinct). *)
+let point j = Gf256.exp j
+
+(* Horner evaluation of the stripe polynomial. *)
+let eval_poly coeffs x =
+  let acc = ref 0 in
+  for i = Array.length coeffs - 1 downto 0 do
+    acc := Gf256.add (Gf256.mul !acc x) coeffs.(i)
+  done;
+  !acc
+
+let encode p shards =
+  if List.length shards <> p.k then
+    invalid_arg "Reed_solomon.encode: expected k shards";
+  let shards = Array.of_list shards in
+  let len = String.length shards.(0) in
+  Array.iter
+    (fun s ->
+      if String.length s <> len then
+        invalid_arg "Reed_solomon.encode: ragged shard lengths")
+    shards;
+  let out = Array.init p.n (fun _ -> Bytes.create len) in
+  let coeffs = Array.make p.k 0 in
+  for stripe = 0 to len - 1 do
+    for i = 0 to p.k - 1 do
+      coeffs.(i) <- Char.code shards.(i).[stripe]
+    done;
+    for j = 0 to p.n - 1 do
+      Bytes.set out.(j) stripe (Char.chr (eval_poly coeffs (point j)))
+    done
+  done;
+  Array.to_list (Array.map Bytes.to_string out)
+
+(* Lagrange interpolation at fixed abscissae: recover all k polynomial
+   coefficients from k (x_i, y_i) pairs.  Coefficients of each basis
+   polynomial are expanded once per stripe set, which is fine at the
+   shard counts this library targets. *)
+let decode p survivors =
+  let survivors =
+    List.sort_uniq (fun (a, _) (b, _) -> compare a b) survivors
+  in
+  let survivors =
+    List.filter (fun (j, _) -> j >= 0 && j < p.n) survivors
+  in
+  match survivors with
+  | [] -> None
+  | (_, first) :: _ ->
+    let len = String.length first in
+    if List.exists (fun (_, s) -> String.length s <> len) survivors then None
+    else if List.length survivors < p.k then None
+    else begin
+      let chosen = Array.of_list (List.filteri (fun i _ -> i < p.k) survivors) in
+      let xs = Array.map (fun (j, _) -> point j) chosen in
+      (* Precompute the coefficient expansion of each Lagrange basis
+         polynomial L_i(x) = Π_{m≠i} (x − x_m) / (x_i − x_m). *)
+      let basis =
+        Array.init p.k (fun i ->
+            (* numerator polynomial coefficients, built incrementally *)
+            let num = Array.make p.k 0 in
+            num.(0) <- 1;
+            let degree = ref 0 in
+            Array.iteri
+              (fun m xm ->
+                if m <> i then begin
+                  (* multiply num by (x + xm)  (minus = plus in GF(2^8)) *)
+                  for d = !degree + 1 downto 1 do
+                    num.(d) <- Gf256.add (if d <= !degree then Gf256.mul num.(d) xm else 0) num.(d - 1)
+                  done;
+                  num.(0) <- Gf256.mul num.(0) xm;
+                  incr degree
+                end)
+              xs;
+            let denom = ref 1 in
+            Array.iteri
+              (fun m xm -> if m <> i then denom := Gf256.mul !denom (Gf256.add xs.(i) xm))
+              xs;
+            let dinv = Gf256.inv !denom in
+            Array.map (fun c -> Gf256.mul c dinv) num)
+      in
+      let out = Array.init p.k (fun _ -> Bytes.create len) in
+      for stripe = 0 to len - 1 do
+        for d = 0 to p.k - 1 do
+          let acc = ref 0 in
+          Array.iteri
+            (fun i (_, shard) ->
+              acc := Gf256.add !acc (Gf256.mul (Char.code shard.[stripe]) basis.(i).(d)))
+            chosen;
+          Bytes.set out.(d) stripe (Char.chr !acc)
+        done
+      done;
+      Some (Array.to_list (Array.map Bytes.to_string out))
+    end
+
+let split p data =
+  let header = Bytes.create 8 in
+  let len = String.length data in
+  for i = 0 to 7 do
+    Bytes.set header i (Char.chr ((len lsr (8 * (7 - i))) land 0xFF))
+  done;
+  let payload = Bytes.to_string header ^ data in
+  let shard_len = (String.length payload + p.k - 1) / p.k in
+  let shard_len = max shard_len 1 in
+  List.init p.k (fun i ->
+      String.init shard_len (fun j ->
+          let pos = (i * shard_len) + j in
+          if pos < String.length payload then payload.[pos] else '\000'))
+
+let join _p shards =
+  let payload = String.concat "" shards in
+  if String.length payload < 8 then None
+  else begin
+    let len = ref 0 in
+    String.iter (fun c -> len := (!len lsl 8) lor Char.code c) (String.sub payload 0 8);
+    if !len < 0 || !len > String.length payload - 8 then None
+    else Some (String.sub payload 8 !len)
+  end
+
+let encode_string p data = encode p (split p data)
+
+let decode_string p survivors =
+  match decode p survivors with
+  | None -> None
+  | Some shards -> join p shards

@@ -1,0 +1,36 @@
+(** Reed–Solomon erasure coding over GF(2⁸).
+
+    A message of k data shards is viewed, stripe by stripe, as the
+    coefficients of a degree-(k−1) polynomial; the n code shards hold
+    its evaluations at the field points 1, α, α², … (α the generator).
+    Any k surviving shards reconstruct the polynomial by Lagrange
+    interpolation, so the code tolerates up to n − k erasures — the
+    mechanism Proofs of Retrievability [11] rest on. *)
+
+type params = { k : int; n : int }
+
+val create : k:int -> n:int -> params
+(** @raise Invalid_argument unless 1 ≤ k ≤ n ≤ 255. *)
+
+val encode : params -> string list -> string list
+(** [encode p shards] takes exactly k equal-length data shards and
+    returns n code shards of the same length.
+    @raise Invalid_argument on wrong count or ragged lengths. *)
+
+val decode : params -> (int * string) list -> string list option
+(** [decode p survivors] rebuilds the k data shards from any ≥ k
+    surviving (index, shard) pairs; [None] when fewer than k distinct
+    valid shards are supplied. *)
+
+val split : params -> string -> string list
+(** Pad-and-split a byte string into k equal shards (with an 8-byte
+    length header so {!join} can strip padding). *)
+
+val join : params -> string list -> string option
+(** Inverse of {!split}; [None] on malformed headers. *)
+
+val encode_string : params -> string -> string list
+(** [split] then [encode]. *)
+
+val decode_string : params -> (int * string) list -> string option
+(** [decode] then [join]. *)

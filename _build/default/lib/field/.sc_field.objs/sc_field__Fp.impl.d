@@ -1,0 +1,1 @@
+lib/field/fp.ml: Modular Montgomery Nat Sc_bignum

@@ -1,0 +1,1 @@
+lib/field/fp2.ml: Format Fp Nat Sc_bignum

@@ -1,0 +1,1 @@
+lib/field/fp2.mli: Format Fp Nat Sc_bignum

@@ -1,0 +1,73 @@
+open Sc_bignum
+
+type ctx = {
+  modular : Modular.ctx;
+  mont : Montgomery.ctx option; (* None for even characteristic *)
+  p : Nat.t;
+  sqrt_exp : Nat.t option; (* (p+1)/4 when p ≡ 3 (mod 4) *)
+}
+
+type el = Nat.t
+
+let create p =
+  let modular = Modular.create p in
+  let mont = if Nat.is_even p then None else Some (Montgomery.create p) in
+  let sqrt_exp =
+    if Nat.rem_int p 4 = 3
+    then Some (Nat.shift_right (Nat.add p Nat.one) 2)
+    else None
+  in
+  { modular; mont; p; sqrt_exp }
+
+let characteristic ctx = ctx.p
+let zero = Nat.zero
+let one = Nat.one
+let of_nat ctx n = Modular.reduce ctx.modular n
+
+let of_int ctx n =
+  if n >= 0 then of_nat ctx (Nat.of_int n)
+  else Modular.neg ctx.modular (of_nat ctx (Nat.of_int (-n)))
+
+let to_nat e = e
+let equal = Nat.equal
+let is_zero = Nat.is_zero
+let add ctx = Modular.add ctx.modular
+let sub ctx = Modular.sub ctx.modular
+let neg ctx = Modular.neg ctx.modular
+let mul ctx = Modular.mul ctx.modular
+let sqr ctx = Modular.sqr ctx.modular
+let double ctx a = add ctx a a
+
+let inv ctx a =
+  match Modular.inv ctx.modular a with
+  | exception Not_found -> raise Division_by_zero
+  | r -> r
+
+let div ctx a b = mul ctx a (inv ctx b)
+
+(* Exponentiation runs in the Montgomery domain when the
+   characteristic is odd (always, for prime fields in practice) —
+   roughly twice as fast as the Barrett ladder. *)
+let pow ctx b e =
+  match ctx.mont with
+  | Some mont -> Montgomery.pow mont b e
+  | None -> Modular.pow ctx.modular b e
+
+(* The binary Jacobi symbol: for a prime characteristic this is the
+   Legendre symbol, at a fraction of the cost of Euler's criterion. *)
+let legendre ctx a = if is_zero a then 0 else Modular.jacobi a ctx.p
+
+let is_square ctx a = is_zero a || legendre ctx a = 1
+
+let sqrt ctx a =
+  match ctx.sqrt_exp with
+  | None -> invalid_arg "Fp.sqrt: characteristic is not 3 mod 4"
+  | Some e ->
+    if is_zero a then Some zero
+    else begin
+      let y = pow ctx a e in
+      if equal (sqr ctx y) a then Some y else None
+    end
+
+let random ctx ~bytes_source = Nat.random_below ~bytes_source ctx.p
+let pp = Nat.pp

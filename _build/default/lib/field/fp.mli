@@ -1,0 +1,56 @@
+(** The prime field F_p.  Elements are canonical {!Sc_bignum.Nat.t}
+    residues below the characteristic; a {!ctx} carries the modulus
+    and its Barrett reciprocal. *)
+
+open Sc_bignum
+
+type ctx
+
+type el = Nat.t
+(** Always a canonical residue in [\[0, p)]. *)
+
+val create : Nat.t -> ctx
+(** @raise Invalid_argument if the modulus is < 2.  Primality is the
+    caller's responsibility (checked by parameter generation). *)
+
+val characteristic : ctx -> Nat.t
+
+val zero : el
+val one : el
+
+val of_nat : ctx -> Nat.t -> el
+(** Reduces modulo p. *)
+
+val of_int : ctx -> int -> el
+(** Accepts negative integers (reduced into the canonical range). *)
+
+val to_nat : el -> Nat.t
+
+val equal : el -> el -> bool
+val is_zero : el -> bool
+
+val add : ctx -> el -> el -> el
+val sub : ctx -> el -> el -> el
+val neg : ctx -> el -> el
+val mul : ctx -> el -> el -> el
+val sqr : ctx -> el -> el
+val double : ctx -> el -> el
+
+val inv : ctx -> el -> el
+(** @raise Division_by_zero on zero. *)
+
+val div : ctx -> el -> el -> el
+val pow : ctx -> el -> Nat.t -> el
+
+val legendre : ctx -> el -> int
+(** [-1], [0], or [1]; requires p odd prime. *)
+
+val is_square : ctx -> el -> bool
+
+val sqrt : ctx -> el -> el option
+(** Square root for p ≡ 3 (mod 4) via the [(p+1)/4] exponent.
+    @raise Invalid_argument when p ≢ 3 (mod 4). *)
+
+val random : ctx -> bytes_source:(int -> string) -> el
+
+val pp : Format.formatter -> el -> unit

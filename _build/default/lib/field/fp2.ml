@@ -1,0 +1,57 @@
+open Sc_bignum
+
+type el = { re : Fp.el; im : Fp.el }
+
+let check_ctx ctx =
+  if Nat.rem_int (Fp.characteristic ctx) 4 <> 3
+  then invalid_arg "Fp2: characteristic must be 3 mod 4 for i^2 = -1"
+
+let zero = { re = Fp.zero; im = Fp.zero }
+let one = { re = Fp.one; im = Fp.zero }
+let make re im = { re; im }
+let of_base re = { re; im = Fp.zero }
+let equal a b = Fp.equal a.re b.re && Fp.equal a.im b.im
+let is_zero a = Fp.is_zero a.re && Fp.is_zero a.im
+let is_one a = Fp.equal a.re Fp.one && Fp.is_zero a.im
+
+let add ctx a b = { re = Fp.add ctx a.re b.re; im = Fp.add ctx a.im b.im }
+let sub ctx a b = { re = Fp.sub ctx a.re b.re; im = Fp.sub ctx a.im b.im }
+let neg ctx a = { re = Fp.neg ctx a.re; im = Fp.neg ctx a.im }
+
+(* (a + bi)(c + di) = (ac − bd) + (ad + bc)i, three base squarings or
+   four multiplications; schoolbook is fine at our sizes. *)
+let mul ctx a b =
+  let ac = Fp.mul ctx a.re b.re and bd = Fp.mul ctx a.im b.im in
+  let ad = Fp.mul ctx a.re b.im and bc = Fp.mul ctx a.im b.re in
+  { re = Fp.sub ctx ac bd; im = Fp.add ctx ad bc }
+
+(* (a + bi)² = (a−b)(a+b) + 2ab·i *)
+let sqr ctx a =
+  let re = Fp.mul ctx (Fp.sub ctx a.re a.im) (Fp.add ctx a.re a.im) in
+  let im = Fp.double ctx (Fp.mul ctx a.re a.im) in
+  { re; im }
+
+let conj ctx a = { a with im = Fp.neg ctx a.im }
+let norm ctx a = Fp.add ctx (Fp.sqr ctx a.re) (Fp.sqr ctx a.im)
+
+let inv ctx a =
+  let n = norm ctx a in
+  if Fp.is_zero n then raise Division_by_zero;
+  let ninv = Fp.inv ctx n in
+  { re = Fp.mul ctx a.re ninv; im = Fp.neg ctx (Fp.mul ctx a.im ninv) }
+
+let div ctx a b = mul ctx a (inv ctx b)
+
+let pow ctx b e =
+  let nbits = Nat.bit_length e in
+  let rec go acc i =
+    if i < 0 then acc
+    else begin
+      let acc = sqr ctx acc in
+      let acc = if Nat.test_bit e i then mul ctx acc b else acc in
+      go acc (i - 1)
+    end
+  in
+  if nbits = 0 then one else go one (nbits - 1)
+
+let pp fmt a = Format.fprintf fmt "(%a + %a*i)" Fp.pp a.re Fp.pp a.im

@@ -1,0 +1,42 @@
+(** The quadratic extension F_p² = F_p(i) with i² = −1, irreducible
+    whenever p ≡ 3 (mod 4) — the case of every supersingular pairing
+    parameter set in this repository.  Elements are pairs of F_p
+    residues manipulated relative to an {!Fp.ctx}. *)
+
+open Sc_bignum
+
+type el = { re : Fp.el; im : Fp.el }
+
+val check_ctx : Fp.ctx -> unit
+(** @raise Invalid_argument unless the characteristic is ≡ 3 (mod 4). *)
+
+val zero : el
+val one : el
+
+val make : Fp.el -> Fp.el -> el
+val of_base : Fp.el -> el
+
+val equal : el -> el -> bool
+val is_zero : el -> bool
+val is_one : el -> bool
+
+val add : Fp.ctx -> el -> el -> el
+val sub : Fp.ctx -> el -> el -> el
+val neg : Fp.ctx -> el -> el
+val mul : Fp.ctx -> el -> el -> el
+val sqr : Fp.ctx -> el -> el
+
+val conj : Fp.ctx -> el -> el
+(** Complex conjugation, which is also the p-power Frobenius when
+    p ≡ 3 (mod 4). *)
+
+val norm : Fp.ctx -> el -> Fp.el
+(** [re² + im²] — the norm map to F_p. *)
+
+val inv : Fp.ctx -> el -> el
+(** @raise Division_by_zero on zero. *)
+
+val div : Fp.ctx -> el -> el -> el
+val pow : Fp.ctx -> el -> Nat.t -> el
+
+val pp : Format.formatter -> el -> unit

@@ -1,0 +1,1 @@
+lib/hash/hmac.ml: Bytes Char List Sha256 String

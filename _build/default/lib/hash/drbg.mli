@@ -1,0 +1,24 @@
+(** Deterministic random byte generator (HMAC-DRBG, NIST SP 800-90A
+    with SHA-256).  Given the same seed it produces the same stream,
+    which makes every simulation and test in this repository
+    reproducible. *)
+
+type t
+
+val create : seed:string -> t
+
+val generate : t -> int -> string
+(** [generate t n] returns [n] fresh pseudo-random bytes. *)
+
+val reseed : t -> string -> unit
+
+val bytes_source : t -> int -> string
+(** The same as {!generate}, shaped for APIs that take an
+    [int -> string] byte source. *)
+
+val uniform_int : t -> int -> int
+(** [uniform_int t n] draws uniformly from [\[0, n)] by rejection.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53 bits of precision. *)

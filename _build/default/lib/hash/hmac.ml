@@ -1,0 +1,25 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  padded
+
+let xor_pad key byte =
+  String.init block_size (fun i ->
+      Char.chr (Char.code (Bytes.get key i) lxor byte))
+
+let mac_concat ~key parts =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.feed inner (xor_pad key 0x36);
+  List.iter (Sha256.feed inner) parts;
+  let inner_digest = Sha256.finalize inner in
+  let outer = Sha256.init () in
+  Sha256.feed outer (xor_pad key 0x5C);
+  Sha256.feed outer inner_digest;
+  Sha256.finalize outer
+
+let mac ~key msg = mac_concat ~key [ msg ]
+let mac_hex ~key msg = Sha256.hex_of_digest (mac ~key msg)

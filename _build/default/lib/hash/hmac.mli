@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104 / FIPS 198-1). *)
+
+val mac : key:string -> string -> string
+(** Raw 32-byte tag. *)
+
+val mac_concat : key:string -> string list -> string
+(** Tag over the concatenation of the fragments. *)
+
+val mac_hex : key:string -> string -> string

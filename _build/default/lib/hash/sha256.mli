@@ -1,0 +1,23 @@
+(** SHA-256 (FIPS 180-4), implemented on native [int]s masked to 32
+    bits.  Both one-shot and incremental interfaces are provided. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_bytes : ctx -> ?off:int -> ?len:int -> bytes -> unit
+
+val finalize : ctx -> string
+(** Returns the 32-byte raw digest and invalidates the context. *)
+
+val digest : string -> string
+(** One-shot raw 32-byte digest. *)
+
+val digest_concat : string list -> string
+(** Digest of the concatenation of the fragments, without building the
+    intermediate string. *)
+
+val hex_of_digest : string -> string
+
+val digest_hex : string -> string
+(** One-shot digest in lowercase hex. *)

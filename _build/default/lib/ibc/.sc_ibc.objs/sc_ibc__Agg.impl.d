@@ -1,0 +1,1 @@
+lib/ibc/agg.ml: Curve Dvs Hashtbl Ibs List Sc_ec Sc_pairing Setup String

@@ -1,0 +1,1 @@
+lib/ibc/agg.mli: Dvs Setup

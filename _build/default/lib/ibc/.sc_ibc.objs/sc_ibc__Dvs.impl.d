@@ -1,0 +1,1 @@
+lib/ibc/dvs.ml: Curve Ibs Sc_ec Sc_pairing Setup

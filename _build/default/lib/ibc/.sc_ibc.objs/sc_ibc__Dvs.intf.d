@@ -1,0 +1,1 @@
+lib/ibc/dvs.mli: Curve Ibs Sc_ec Sc_pairing Setup

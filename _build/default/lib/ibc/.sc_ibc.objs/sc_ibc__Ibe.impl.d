@@ -1,0 +1,1 @@
+lib/ibc/ibe.ml: Buffer Char Option Printf Sc_ec Sc_hash Sc_pairing Setup String

@@ -1,0 +1,1 @@
+lib/ibc/ibe.mli: Sc_ec Setup

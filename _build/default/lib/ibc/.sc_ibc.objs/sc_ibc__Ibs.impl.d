@@ -1,0 +1,1 @@
+lib/ibc/ibs.ml: Curve Nat Printf Sc_bignum Sc_ec Sc_pairing Setup String

@@ -1,0 +1,1 @@
+lib/ibc/ibs.mli: Curve Nat Sc_bignum Sc_ec Setup

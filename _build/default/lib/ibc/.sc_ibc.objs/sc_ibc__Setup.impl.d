@@ -1,0 +1,1 @@
+lib/ibc/setup.ml: Curve Nat Sc_bignum Sc_ec Sc_pairing

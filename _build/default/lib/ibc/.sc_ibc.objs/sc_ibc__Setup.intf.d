@@ -1,0 +1,1 @@
+lib/ibc/setup.mli: Curve Nat Sc_bignum Sc_ec Sc_pairing

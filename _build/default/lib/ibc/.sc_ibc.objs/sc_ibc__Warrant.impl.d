@@ -1,0 +1,1 @@
+lib/ibc/warrant.ml: Ibs Printf Setup

@@ -1,0 +1,1 @@
+lib/ibc/warrant.mli: Ibs Setup

@@ -1,0 +1,42 @@
+open Sc_ec
+module Tate = Sc_pairing.Tate
+
+type entry = { signer : string; msg : string; dvs : Dvs.t }
+
+let verify_batch (pub : Setup.public) ~verifier_key entries =
+  let prm = pub.prm in
+  let well_formed e = Curve.on_curve prm.curve e.dvs.Dvs.u in
+  List.for_all well_formed entries
+  &&
+  (* Q_ID lookups are memoized: a batch typically has few signers. *)
+  let q_cache = Hashtbl.create 8 in
+  let q_of signer =
+    match Hashtbl.find_opt q_cache signer with
+    | Some q -> q
+    | None ->
+      let q = Setup.q_of_id pub signer in
+      Hashtbl.add q_cache signer q;
+      q
+  in
+  let u_agg, sigma_agg =
+    List.fold_left
+      (fun (u_acc, s_acc) e ->
+        let q_id = q_of e.signer in
+        let w = Ibs.verification_point pub ~q_id ~msg:e.msg ~u:e.dvs.Dvs.u in
+        Curve.add prm.curve u_acc w, Tate.gt_mul prm s_acc e.dvs.Dvs.sigma)
+      (Curve.infinity, Tate.gt_one) entries
+  in
+  Tate.gt_equal (Tate.pairing prm u_agg verifier_key.Setup.sk) sigma_agg
+
+let aggregate_size_bytes (pub : Setup.public) entries =
+  let prm = pub.prm in
+  let u_agg, sigma_agg =
+    List.fold_left
+      (fun (u_acc, s_acc) (e : entry) ->
+        let q_id = Setup.q_of_id pub e.signer in
+        let w = Ibs.verification_point pub ~q_id ~msg:e.msg ~u:e.dvs.Dvs.u in
+        Curve.add prm.curve u_acc w, Tate.gt_mul prm s_acc e.dvs.Dvs.sigma)
+      (Curve.infinity, Tate.gt_one) entries
+  in
+  String.length (Curve.to_bytes prm.curve u_agg)
+  + String.length (Tate.gt_to_bytes prm sigma_agg)

@@ -1,0 +1,21 @@
+(** Batch verification of designated-verifier signatures (§VI).
+
+    For k users each contributing n_i signatures, the verifier checks
+    one aggregated equation
+
+      ê(U_A, sk_B) = Σ_A,   U_A = Σ_ij (U_ij + h_ij·Q_IDi),
+                            Σ_A = Π_ij Σ_ij
+
+    — a single pairing regardless of batch size, versus one pairing
+    per signature individually (the paper counts 2 vs 2t including the
+    signer-side transform). *)
+
+type entry = { signer : string; msg : string; dvs : Dvs.t }
+
+val verify_batch :
+  Setup.public -> verifier_key:Setup.identity_key -> entry list -> bool
+(** Accepts the empty batch. *)
+
+val aggregate_size_bytes : Setup.public -> entry list -> int
+(** Wire size of the aggregate (U_A, Σ_A) — the constant-size object
+    a server ships to the auditor. *)

@@ -1,0 +1,26 @@
+open Sc_ec
+module Params = Sc_pairing.Params
+module Tate = Sc_pairing.Tate
+
+type t = { u : Curve.point; sigma : Tate.gt }
+
+let designate (pub : Setup.public) (raw : Ibs.t) ~verifier =
+  let prm = pub.prm in
+  let q_b = Setup.q_of_id pub verifier in
+  { u = raw.Ibs.u; sigma = Tate.pairing prm raw.Ibs.v q_b }
+
+let verify (pub : Setup.public) ~verifier_key ~signer ~msg { u; sigma } =
+  let prm = pub.prm in
+  Curve.on_curve prm.curve u
+  &&
+  let q_id = Setup.q_of_id pub signer in
+  let w = Ibs.verification_point pub ~q_id ~msg ~u in
+  Tate.gt_equal sigma (Tate.pairing prm w verifier_key.Setup.sk)
+
+let simulate (pub : Setup.public) ~verifier_key ~signer ~msg ~bytes_source =
+  let prm = pub.prm in
+  let q_id = Setup.q_of_id pub signer in
+  let r = Params.random_scalar prm ~bytes_source in
+  let u = Curve.mul prm.curve r q_id in
+  let w = Ibs.verification_point pub ~q_id ~msg ~u in
+  { u; sigma = Tate.pairing prm w verifier_key.Setup.sk }

@@ -1,0 +1,69 @@
+module Params = Sc_pairing.Params
+module Tate = Sc_pairing.Tate
+module Hash_g1 = Sc_pairing.Hash_g1
+module Curve = Sc_ec.Curve
+module Sha256 = Sc_hash.Sha256
+module Hmac = Sc_hash.Hmac
+
+type ciphertext = { u : Curve.point; body : string; tag : string }
+
+(* Key material from the pairing value: independent keystream and MAC
+   keys by domain separation. *)
+let derive prm k label =
+  Sha256.digest_concat [ "ibe-"; label; ":"; Tate.gt_to_bytes prm k ]
+
+let keystream prm k len =
+  let seed = derive prm k "ks" in
+  let buf = Buffer.create len in
+  let counter = ref 0 in
+  while Buffer.length buf < len do
+    Buffer.add_string buf (Sha256.digest_concat [ seed; string_of_int !counter ]);
+    incr counter
+  done;
+  Buffer.sub buf 0 len
+
+let xor_string a b =
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let mac prm k ~u_bytes ~body =
+  Hmac.mac_concat ~key:(derive prm k "mac") [ u_bytes; body ]
+
+let encrypt (pub : Setup.public) ~to_identity ~bytes_source msg =
+  let prm = pub.Setup.prm in
+  let q_id = Hash_g1.hash_to_point prm ("id:" ^ to_identity) in
+  let r = Params.random_scalar prm ~bytes_source in
+  let u = Params.mul_g prm r in
+  let k = Tate.gt_pow prm (Tate.pairing prm q_id pub.Setup.p_pub) r in
+  let body = xor_string msg (keystream prm k (String.length msg)) in
+  let u_bytes = Curve.to_bytes prm.Params.curve u in
+  { u; body; tag = mac prm k ~u_bytes ~body }
+
+let decrypt (pub : Setup.public) ~key { u; body; tag } =
+  let prm = pub.Setup.prm in
+  if not (Curve.on_curve prm.Params.curve u) then None
+  else begin
+    let k = Tate.pairing prm key.Setup.sk u in
+    let u_bytes = Curve.to_bytes prm.Params.curve u in
+    if not (String.equal tag (mac prm k ~u_bytes ~body)) then None
+    else Some (xor_string body (keystream prm k (String.length body)))
+  end
+
+let ciphertext_to_bytes (pub : Setup.public) { u; body; tag } =
+  let u_bytes = Curve.to_bytes pub.Setup.prm.Params.curve u in
+  Printf.sprintf "%04d" (String.length u_bytes)
+  ^ u_bytes
+  ^ Printf.sprintf "%08d" (String.length body)
+  ^ body ^ tag
+
+let ciphertext_of_bytes (pub : Setup.public) s =
+  let ( let* ) = Option.bind in
+  let* ulen = if String.length s >= 4 then int_of_string_opt (String.sub s 0 4) else None in
+  let* () = if String.length s >= 4 + ulen + 8 then Some () else None in
+  let* u = Curve.of_bytes pub.Setup.prm.Params.curve (String.sub s 4 ulen) in
+  let* blen = int_of_string_opt (String.sub s (4 + ulen) 8) in
+  let rest = 4 + ulen + 8 in
+  if blen < 0 || String.length s <> rest + blen + 32 then None
+  else
+    Some
+      { u; body = String.sub s rest blen; tag = String.sub s (rest + blen) 32 }

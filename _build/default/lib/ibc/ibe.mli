@@ -1,0 +1,35 @@
+(** Identity-based encryption (Boneh–Franklin BasicIdent [19], in
+    hybrid encrypt-then-MAC form).
+
+    The Privacy-Cheating model (§III-B) notes that users may encrypt
+    data before outsourcing; with IBE they can do so under the *same*
+    identity infrastructure the SIO already provides — no separate
+    PKI:
+
+    - encrypt to ID:  r ← Z_q*, U = r·P, K = ê(H1(ID), P_pub)^r,
+      keystream/MAC keys derived from K; body = m ⊕ ks, tag = MAC.
+    - decrypt:        K = ê(sk_ID, U)  — same K by bilinearity.
+
+    The MAC gives ciphertext integrity (encrypt-then-MAC); this is
+    BasicIdent hardened for honest-but-curious storage, not the full
+    FO-transformed CCA scheme. *)
+
+type ciphertext = {
+  u : Sc_ec.Curve.point; (* r·P *)
+  body : string; (* m ⊕ keystream(K) *)
+  tag : string; (* MAC over U ‖ body *)
+}
+
+val encrypt :
+  Setup.public ->
+  to_identity:string ->
+  bytes_source:(int -> string) ->
+  string ->
+  ciphertext
+
+val decrypt : Setup.public -> key:Setup.identity_key -> ciphertext -> string option
+(** [None] when the tag does not verify (wrong recipient or tampered
+    ciphertext). *)
+
+val ciphertext_to_bytes : Setup.public -> ciphertext -> string
+val ciphertext_of_bytes : Setup.public -> string -> ciphertext option

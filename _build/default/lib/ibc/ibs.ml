@@ -1,0 +1,53 @@
+open Sc_bignum
+open Sc_ec
+module Params = Sc_pairing.Params
+module Tate = Sc_pairing.Tate
+module Hash_g1 = Sc_pairing.Hash_g1
+
+type t = { u : Curve.point; v : Curve.point }
+
+let h2 (pub : Setup.public) ~u ~msg =
+  let prm = pub.prm in
+  Hash_g1.hash_to_scalar prm ("h2:" ^ Curve.to_bytes prm.curve u ^ ":" ^ msg)
+
+let sign (pub : Setup.public) (key : Setup.identity_key) ~bytes_source msg =
+  let prm = pub.prm in
+  let r = Params.random_scalar prm ~bytes_source in
+  let u = Curve.mul prm.curve r key.q_id in
+  let h = h2 pub ~u ~msg in
+  let v = Curve.mul prm.curve (Nat.rem (Nat.add r h) prm.q) key.sk in
+  { u; v }
+
+(* U + h·Q_ID, the G1 element both verification flavours pair against. *)
+let verification_point (pub : Setup.public) ~q_id ~msg ~u =
+  let prm = pub.prm in
+  let h = h2 pub ~u ~msg in
+  Curve.add prm.curve u (Curve.mul prm.curve h q_id)
+
+let verify (pub : Setup.public) ~signer ~msg { u; v } =
+  let prm = pub.prm in
+  Curve.on_curve prm.curve u
+  && Curve.on_curve prm.curve v
+  &&
+  let q_id = Setup.q_of_id pub signer in
+  let w = verification_point pub ~q_id ~msg ~u in
+  Tate.gt_equal (Tate.pairing prm v prm.g) (Tate.pairing prm w pub.p_pub)
+
+let to_bytes (pub : Setup.public) { u; v } =
+  let c = pub.prm.curve in
+  let su = Curve.to_bytes c u in
+  Printf.sprintf "%04d" (String.length su) ^ su ^ Curve.to_bytes c v
+
+let of_bytes (pub : Setup.public) s =
+  let c = pub.prm.curve in
+  if String.length s < 4 then None
+  else
+    match int_of_string_opt (String.sub s 0 4) with
+    | None -> None
+    | Some n when String.length s < 4 + n -> None
+    | Some n ->
+      let su = String.sub s 4 n in
+      let sv = String.sub s (4 + n) (String.length s - 4 - n) in
+      (match Curve.of_bytes c su, Curve.of_bytes c sv with
+      | Some u, Some v -> Some { u; v }
+      | None, _ | _, None -> None)

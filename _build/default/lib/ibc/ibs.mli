@@ -1,0 +1,33 @@
+(** The identity-based signature underlying the paper's Data Signing
+    step (§V-B1):
+
+    - sign:   r ← Z_q*, U = r·Q_ID, h = H2(U ‖ m), V = (r + h)·sk_ID
+    - verify: ê(V, P) = ê(U + h·Q_ID, P_pub)
+
+    The raw (U, V) pair is publicly verifiable; the designated-verifier
+    transform of {!Dvs} is what the protocol actually publishes. *)
+
+open Sc_bignum
+open Sc_ec
+
+type t = { u : Curve.point; v : Curve.point }
+
+val h2 : Setup.public -> u:Curve.point -> msg:string -> Nat.t
+(** The hash h = H2(U ‖ m) used by both sign and verify. *)
+
+val sign :
+  Setup.public ->
+  Setup.identity_key ->
+  bytes_source:(int -> string) ->
+  string ->
+  t
+
+val verify : Setup.public -> signer:string -> msg:string -> t -> bool
+
+val verification_point :
+  Setup.public -> q_id:Curve.point -> msg:string -> u:Curve.point -> Curve.point
+(** [U + H2(U‖m)·Q_ID] — the G1 element all verification flavours
+    (public, designated, aggregated) pair against. *)
+
+val to_bytes : Setup.public -> t -> string
+val of_bytes : Setup.public -> string -> t option

@@ -1,0 +1,31 @@
+open Sc_bignum
+open Sc_ec
+module Params = Sc_pairing.Params
+module Tate = Sc_pairing.Tate
+module Hash_g1 = Sc_pairing.Hash_g1
+
+type public = { prm : Params.t; p_pub : Curve.point }
+type sio = { pub : public; s : Nat.t }
+type identity_key = { id : string; q_id : Curve.point; sk : Curve.point }
+
+let create prm ~bytes_source =
+  let s = Params.random_scalar prm ~bytes_source in
+  let p_pub = Params.mul_g prm s in
+  { pub = { prm; p_pub }; s }
+
+let public sio = sio.pub
+let master_secret sio = sio.s
+
+let extract sio id =
+  let prm = sio.pub.prm in
+  let q_id = Hash_g1.hash_to_point prm ("id:" ^ id) in
+  { id; q_id; sk = Curve.mul prm.curve sio.s q_id }
+
+let q_of_id pub id = Hash_g1.hash_to_point pub.prm ("id:" ^ id)
+
+let valid_key pub (key : identity_key) =
+  let prm = pub.prm in
+  Curve.on_curve prm.curve key.sk
+  && Tate.gt_equal
+       (Tate.pairing prm key.sk prm.g)
+       (Tate.pairing prm key.q_id pub.p_pub)

@@ -1,0 +1,32 @@
+type t = {
+  delegator : string;
+  delegatee : string;
+  issued_at : float;
+  expires_at : float;
+  scope : string;
+}
+
+type signed = { warrant : t; signature : Ibs.t }
+
+let encode w =
+  Printf.sprintf "warrant|%s|%s|%.6f|%.6f|%s" w.delegator w.delegatee
+    w.issued_at w.expires_at w.scope
+
+let issue pub (key : Setup.identity_key) ~bytes_source ~delegatee ~now ~lifetime
+    ~scope =
+  let warrant =
+    {
+      delegator = key.Setup.id;
+      delegatee;
+      issued_at = now;
+      expires_at = now +. lifetime;
+      scope;
+    }
+  in
+  { warrant; signature = Ibs.sign pub key ~bytes_source (encode warrant) }
+
+let expired ~now w = now > w.expires_at || now < w.issued_at
+
+let verify pub ~now { warrant; signature } =
+  (not (expired ~now warrant))
+  && Ibs.verify pub ~signer:warrant.delegator ~msg:(encode warrant) signature

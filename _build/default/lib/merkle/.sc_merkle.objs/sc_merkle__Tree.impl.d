@@ -1,0 +1,1 @@
+lib/merkle/tree.ml: Array List Sc_hash String

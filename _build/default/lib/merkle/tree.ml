@@ -1,0 +1,77 @@
+(* The tree is stored as levels of hash arrays: levels.(0) are leaf
+   hashes, the last level is the singleton root.  An odd node at the
+   end of a level is promoted to the next level unchanged. *)
+
+type t = { levels : string array array }
+type side = L | R
+type proof = { leaf_index : int; path : (side * string) list }
+
+let leaf_hash payload = Sc_hash.Sha256.digest_concat [ "leaf:"; payload ]
+let node_hash left right = Sc_hash.Sha256.digest_concat [ "node:"; left; right ]
+
+let build_levels leaf_hashes =
+  let rec up acc level =
+    if Array.length level <= 1 then List.rev (level :: acc)
+    else begin
+      let n = Array.length level in
+      let parent = Array.make ((n + 1) / 2) "" in
+      for i = 0 to (n / 2) - 1 do
+        parent.(i) <- node_hash level.(2 * i) level.((2 * i) + 1)
+      done;
+      if n land 1 = 1 then parent.((n - 1) / 2) <- level.(n - 1);
+      up (level :: acc) parent
+    end
+  in
+  Array.of_list (up [] leaf_hashes)
+
+let build_of_hashes hashes =
+  if hashes = [] then invalid_arg "Merkle.build: empty leaf list";
+  { levels = build_levels (Array.of_list hashes) }
+
+let build payloads = build_of_hashes (List.map leaf_hash payloads)
+let root t = t.levels.(Array.length t.levels - 1).(0)
+let size t = Array.length t.levels.(0)
+let depth t = Array.length t.levels - 1
+
+let leaf t i =
+  if i < 0 || i >= size t then invalid_arg "Merkle.leaf: index out of bounds";
+  t.levels.(0).(i)
+
+let proof t i =
+  if i < 0 || i >= size t then invalid_arg "Merkle.proof: index out of bounds";
+  let rec collect level idx acc =
+    if level >= Array.length t.levels - 1 then List.rev acc
+    else begin
+      let nodes = t.levels.(level) in
+      let n = Array.length nodes in
+      let sibling =
+        if idx land 1 = 0 then if idx + 1 < n then Some (R, nodes.(idx + 1)) else None
+        else Some (L, nodes.(idx - 1))
+      in
+      let acc = match sibling with Some s -> s :: acc | None -> acc in
+      collect (level + 1) (idx / 2) acc
+    end
+  in
+  { leaf_index = i; path = collect 0 i [] }
+
+let fold_path ~leaf_hash:h path =
+  List.fold_left
+    (fun acc (side, sib) ->
+      match side with L -> node_hash sib acc | R -> node_hash acc sib)
+    h path
+
+let root_from_proof ~leaf_hash p = fold_path ~leaf_hash p.path
+
+let verify_proof_hash ~root ~leaf_hash p =
+  String.equal root (fold_path ~leaf_hash p.path)
+
+let verify_proof ~root ~leaf_payload p =
+  verify_proof_hash ~root ~leaf_hash:(leaf_hash leaf_payload) p
+
+let update_leaf t i payload =
+  if i < 0 || i >= size t then invalid_arg "Merkle.update_leaf: index out of bounds";
+  let leaves = Array.copy t.levels.(0) in
+  leaves.(i) <- leaf_hash payload;
+  { levels = build_levels leaves }
+
+let equal_root a b = String.equal (root a) (root b)

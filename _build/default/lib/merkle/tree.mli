@@ -1,0 +1,54 @@
+(** Merkle hash trees (eq. 6 and Figure 3 of the paper).
+
+    Leaves are SHA-256 hashes of caller-supplied payloads; internal
+    nodes are Ω(V) = H(Ω(left) ‖ Ω(right)).  Odd nodes at any level
+    are promoted unchanged (no duplication), so a single-leaf tree has
+    root = leaf hash.  Proofs carry the sibling hashes from a leaf to
+    the root — exactly the "sibling sets" the cloud server returns in
+    the Audit Response step. *)
+
+type t
+
+type side = L | R
+
+type proof = { leaf_index : int; path : (side * string) list }
+(** [path] lists, bottom-up, on which side each sibling hash sits. *)
+
+val leaf_hash : string -> string
+(** Domain-separated hash of a leaf payload. *)
+
+val build : string list -> t
+(** Builds from leaf *payloads* (hashed internally).
+    @raise Invalid_argument on the empty list. *)
+
+val build_of_hashes : string list -> t
+(** Builds from precomputed leaf hashes. *)
+
+val root : t -> string
+val size : t -> int
+(** Number of leaves. *)
+
+val depth : t -> int
+
+val proof : t -> int -> proof
+(** Authentication path for the given leaf.
+    @raise Invalid_argument when out of bounds. *)
+
+val verify_proof : root:string -> leaf_payload:string -> proof -> bool
+
+val root_from_proof : leaf_hash:string -> proof -> string
+(** The root an authentication path yields for the given leaf hash —
+    the primitive behind O(log n) dynamic updates: fold the *new*
+    leaf through the *old* path to learn the new root. *)
+
+val verify_proof_hash : root:string -> leaf_hash:string -> proof -> bool
+(** Variant when the caller already holds the leaf hash. *)
+
+val leaf : t -> int -> string
+(** Stored hash of leaf [i]. *)
+
+val update_leaf : t -> int -> string -> t
+(** Functional update: new tree with leaf [i] replaced by a new
+    payload. *)
+
+val equal_root : t -> t -> bool

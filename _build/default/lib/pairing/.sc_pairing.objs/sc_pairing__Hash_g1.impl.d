@@ -1,0 +1,1 @@
+lib/pairing/hash_g1.ml: Buffer Curve Fp Nat Params Sc_bignum Sc_ec Sc_field Sc_hash

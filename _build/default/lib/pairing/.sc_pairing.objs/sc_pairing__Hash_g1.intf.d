@@ -1,0 +1,1 @@
+lib/pairing/hash_g1.mli: Curve Params Sc_bignum Sc_ec

@@ -1,0 +1,1 @@
+lib/pairing/params.ml: Curve Fp Fp2 Lazy Nat Prime Sc_bignum Sc_ec Sc_field Sc_hash

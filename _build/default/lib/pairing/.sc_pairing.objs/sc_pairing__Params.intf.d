@@ -1,0 +1,1 @@
+lib/pairing/params.mli: Curve Fp Lazy Nat Sc_bignum Sc_ec Sc_field

@@ -1,0 +1,1 @@
+lib/pairing/tate.ml: Curve Fp Fp2 Nat Params Sc_bignum Sc_ec Sc_field String

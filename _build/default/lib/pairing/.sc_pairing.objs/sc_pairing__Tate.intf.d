@@ -1,0 +1,1 @@
+lib/pairing/tate.mli: Curve Fp2 Nat Params Sc_bignum Sc_ec Sc_field

@@ -1,0 +1,35 @@
+open Sc_bignum
+open Sc_field
+open Sc_ec
+
+(* Expand the message to enough uniform bytes with a counter-mode
+   SHA-256 construction. *)
+let expand msg counter nbytes =
+  let buf = Buffer.create nbytes in
+  let block = ref 0 in
+  while Buffer.length buf < nbytes do
+    Buffer.add_string buf
+      (Sc_hash.Sha256.digest_concat
+         [ "seccloud-h2c"; string_of_int counter; ":"; string_of_int !block; ":"; msg ]);
+    incr block
+  done;
+  Buffer.sub buf 0 nbytes
+
+let hash_to_point (prm : Params.t) msg =
+  let nbytes = ((Nat.bit_length prm.p + 7) / 8) + 8 in
+  let rec attempt counter =
+    let material = expand msg counter nbytes in
+    let x = Fp.of_nat prm.fp (Nat.of_bytes_be material) in
+    match Curve.lift_x prm.curve x with
+    | None -> attempt (counter + 1)
+    | Some candidate ->
+      let pt = Curve.mul prm.curve prm.cofactor candidate in
+      if Curve.is_infinity pt then attempt (counter + 1) else pt
+  in
+  attempt 0
+
+let hash_to_scalar (prm : Params.t) msg =
+  let nbytes = ((Nat.bit_length prm.q + 7) / 8) + 8 in
+  let material = expand msg 0x5c nbytes in
+  let r = Nat.rem (Nat.of_bytes_be material) (Nat.sub prm.q Nat.one) in
+  Nat.add r Nat.one

@@ -1,0 +1,12 @@
+(** Hashing arbitrary strings into G1 (the map H1 of the paper),
+    via SHA-256-based try-and-increment followed by cofactor
+    clearing. *)
+
+open Sc_ec
+
+val hash_to_point : Params.t -> string -> Curve.point
+(** Deterministic, never returns the point at infinity, and the result
+    always lies in the order-q subgroup. *)
+
+val hash_to_scalar : Params.t -> string -> Sc_bignum.Nat.t
+(** The map H2 of the paper: {0,1}* → Z_q*. *)

@@ -1,0 +1,235 @@
+open Sc_bignum
+open Sc_field
+open Sc_ec
+
+type gt = Fp2.el
+
+let gt_one = Fp2.one
+let gt_is_one = Fp2.is_one
+let gt_equal = Fp2.equal
+let gt_mul (prm : Params.t) a b = Fp2.mul prm.fp a b
+let gt_inv (prm : Params.t) a = Fp2.conj prm.fp a
+let gt_pow (prm : Params.t) a e = Fp2.pow prm.fp a e
+
+(* Evaluate the line through T (slope lam) at the distorted point
+   φ(Q) = (−x_q, i·y_q):
+     l = i·y_q − y_t − lam·(−x_q − x_t)
+       = (lam·(x_q + x_t) − y_t)  +  i·y_q
+   Both components stay in F_p. *)
+let line_eval fp ~lam ~xt ~yt ~xq ~yq =
+  let re = Fp.sub fp (Fp.mul fp lam (Fp.add fp xq xt)) yt in
+  Fp2.make re yq
+
+(* Reference implementation: affine Miller loop (one field inversion
+   per iteration).  Kept for cross-validation of the projective loop
+   below and for the ablation benchmark. *)
+let miller_affine (prm : Params.t) px py xq yq =
+  let fp = prm.fp in
+  let three = Fp.of_int fp 3 in
+  let a = Curve.coeff_a prm.curve in
+  let f = ref Fp2.one in
+  let tx = ref px and ty = ref py in
+  let t_inf = ref false in
+  let nbits = Nat.bit_length prm.q in
+  for i = nbits - 2 downto 0 do
+    (* Doubling step. *)
+    f := Fp2.sqr fp !f;
+    if not !t_inf then begin
+      if Fp.is_zero !ty then
+        (* Vertical tangent: contributes an F_p factor only. *)
+        t_inf := true
+      else begin
+        let lam =
+          Fp.div fp
+            (Fp.add fp (Fp.mul fp three (Fp.sqr fp !tx)) a)
+            (Fp.double fp !ty)
+        in
+        f := Fp2.mul fp !f (line_eval fp ~lam ~xt:!tx ~yt:!ty ~xq ~yq);
+        let x3 = Fp.sub fp (Fp.sqr fp lam) (Fp.double fp !tx) in
+        let y3 = Fp.sub fp (Fp.mul fp lam (Fp.sub fp !tx x3)) !ty in
+        tx := x3;
+        ty := y3
+      end
+    end;
+    (* Addition step. *)
+    if Nat.test_bit prm.q i && not !t_inf then begin
+      if Fp.equal !tx px then begin
+        if Fp.equal !ty py then begin
+          (* T = P: tangent line. *)
+          let lam =
+            Fp.div fp
+              (Fp.add fp (Fp.mul fp three (Fp.sqr fp !tx)) a)
+              (Fp.double fp !ty)
+          in
+          f := Fp2.mul fp !f (line_eval fp ~lam ~xt:!tx ~yt:!ty ~xq ~yq);
+          let x3 = Fp.sub fp (Fp.sqr fp lam) (Fp.double fp !tx) in
+          let y3 = Fp.sub fp (Fp.mul fp lam (Fp.sub fp !tx x3)) !ty in
+          tx := x3;
+          ty := y3
+        end
+        else
+          (* T = −P: vertical chord, eliminated factor; T becomes O. *)
+          t_inf := true
+      end
+      else begin
+        let lam = Fp.div fp (Fp.sub fp !ty py) (Fp.sub fp !tx px) in
+        f := Fp2.mul fp !f (line_eval fp ~lam ~xt:!tx ~yt:!ty ~xq ~yq);
+        let x3 = Fp.sub fp (Fp.sub fp (Fp.sqr fp lam) !tx) px in
+        let y3 = Fp.sub fp (Fp.mul fp lam (Fp.sub fp !tx x3)) !ty in
+        tx := x3;
+        ty := y3
+      end
+    end
+  done;
+  !f
+
+(* Projective Miller loop: T is tracked in Jacobian coordinates
+   (x = X/Z², y = Y/Z³), and every line function is scaled by an
+   F_p* factor (2YZ³ for tangents, V·Z for chords) that the final
+   exponentiation annihilates — so the whole loop is inversion-free.
+
+   Tangent at T evaluated at φ(Q) = (−x_q, i·y_q), scaled by 2YZ³:
+     re = M·(X + x_q·Z²) − 2Y²,   im = 2Y·Z³·y_q,
+   with M = 3X² + a·Z⁴.  Chord through T and the affine P, scaled by
+   V·Z with U = y_p·Z³ − Y, V = x_p·Z² − X:
+     re = U·(x_q + x_p) − V·Z·y_p,   im = V·Z·y_q. *)
+let miller_projective (prm : Params.t) px py xq yq =
+  let fp = prm.fp in
+  let a = Curve.coeff_a prm.curve in
+  let f = ref Fp2.one in
+  let tx = ref px and ty = ref py and tz = ref Fp.one in
+  let t_inf = ref false in
+  let nbits = Nat.bit_length prm.q in
+  for i = nbits - 2 downto 0 do
+    f := Fp2.sqr fp !f;
+    if not !t_inf then begin
+      if Fp.is_zero !ty then t_inf := true
+      else begin
+        let x = !tx and y = !ty and z = !tz in
+        let xx = Fp.sqr fp x in
+        let yy = Fp.sqr fp y in
+        let zz = Fp.sqr fp z in
+        let m = Fp.add fp (Fp.add fp (Fp.double fp xx) xx) (Fp.mul fp a (Fp.sqr fp zz)) in
+        (* Line first (it needs the old X, Y, Z). *)
+        let two_yy = Fp.double fp yy in
+        let re =
+          Fp.sub fp (Fp.mul fp m (Fp.add fp x (Fp.mul fp xq zz))) two_yy
+        in
+        let z3 = Fp.double fp (Fp.mul fp y z) in
+        let im = Fp.mul fp (Fp.mul fp z3 zz) yq in
+        f := Fp2.mul fp !f (Fp2.make re im);
+        (* dbl: S = 4XY², X3 = M² − 2S, Y3 = M(S − X3) − 8Y⁴. *)
+        let s = Fp.double fp (Fp.double fp (Fp.mul fp x yy)) in
+        let x3 = Fp.sub fp (Fp.sqr fp m) (Fp.double fp s) in
+        let y3 =
+          Fp.sub fp
+            (Fp.mul fp m (Fp.sub fp s x3))
+            (Fp.double fp (Fp.double fp (Fp.double fp (Fp.sqr fp yy))))
+        in
+        tx := x3;
+        ty := y3;
+        tz := z3
+      end
+    end;
+    if Nat.test_bit prm.q i && not !t_inf then begin
+      let x = !tx and y = !ty and z = !tz in
+      let zz = Fp.sqr fp z in
+      let u = Fp.sub fp (Fp.mul fp py (Fp.mul fp z zz)) y in
+      let v = Fp.sub fp (Fp.mul fp px zz) x in
+      if Fp.is_zero v then begin
+        if Fp.is_zero u then begin
+          (* T = P: fall back to a tangent step (cannot happen for a
+             prime-order Miller loop, but stay total). *)
+          t_inf := false;
+          let m =
+            Fp.add fp
+              (Fp.add fp (Fp.double fp (Fp.sqr fp x)) (Fp.sqr fp x))
+              (Fp.mul fp a (Fp.sqr fp zz))
+          in
+          let yy = Fp.sqr fp y in
+          let re =
+            Fp.sub fp (Fp.mul fp m (Fp.add fp x (Fp.mul fp xq zz)))
+              (Fp.double fp yy)
+          in
+          let z3 = Fp.double fp (Fp.mul fp y z) in
+          let im = Fp.mul fp (Fp.mul fp z3 zz) yq in
+          f := Fp2.mul fp !f (Fp2.make re im);
+          let s = Fp.double fp (Fp.double fp (Fp.mul fp x yy)) in
+          let x3 = Fp.sub fp (Fp.sqr fp m) (Fp.double fp s) in
+          let y3 =
+            Fp.sub fp
+              (Fp.mul fp m (Fp.sub fp s x3))
+              (Fp.double fp (Fp.double fp (Fp.double fp (Fp.sqr fp yy))))
+          in
+          tx := x3;
+          ty := y3;
+          tz := z3
+        end
+        else
+          (* Vertical chord: eliminated factor, T becomes O. *)
+          t_inf := true
+      end
+      else begin
+        let vz = Fp.mul fp v z in
+        let re = Fp.sub fp (Fp.mul fp u (Fp.add fp xq px)) (Fp.mul fp vz py) in
+        let im = Fp.mul fp vz yq in
+        f := Fp2.mul fp !f (Fp2.make re im);
+        (* madd: X3 = U² − V³ − 2V²X, Y3 = U(V²X − X3) − V³Y, Z3 = VZ. *)
+        let vv = Fp.sqr fp v in
+        let vvv = Fp.mul fp vv v in
+        let vvx = Fp.mul fp vv x in
+        let x3 = Fp.sub fp (Fp.sub fp (Fp.sqr fp u) vvv) (Fp.double fp vvx) in
+        let y3 =
+          Fp.sub fp (Fp.mul fp u (Fp.sub fp vvx x3)) (Fp.mul fp vvv y)
+        in
+        tx := x3;
+        ty := y3;
+        tz := vz
+      end
+    end
+  done;
+  !f
+
+(* f^((p² − 1)/q) = (f^(p−1))^c = (conj(f)·f⁻¹)^c, using that
+   conjugation is the p-power Frobenius when p ≡ 3 (mod 4). *)
+let final_expo (prm : Params.t) f =
+  let fp = prm.fp in
+  let g = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
+  Fp2.pow fp g prm.cofactor
+
+(* Global instrumentation: the evaluation section compares schemes by
+   pairing counts, so the library keeps a tally. *)
+let pairing_count = ref 0
+
+let pairings_performed () = !pairing_count
+let reset_pairing_count () = pairing_count := 0
+
+let pairing prm p q =
+  incr pairing_count;
+  match p, q with
+  | Curve.Infinity, _ | _, Curve.Infinity -> gt_one
+  | Curve.Affine (px, py), Curve.Affine (qx, qy) ->
+    let f = miller_projective prm px py qx qy in
+    if Fp2.is_zero f then gt_one else final_expo prm f
+
+let pairing_affine prm p q =
+  incr pairing_count;
+  match p, q with
+  | Curve.Infinity, _ | _, Curve.Infinity -> gt_one
+  | Curve.Affine (px, py), Curve.Affine (qx, qy) ->
+    let f = miller_affine prm px py qx qy in
+    if Fp2.is_zero f then gt_one else final_expo prm f
+
+let gt_to_bytes (prm : Params.t) (g : gt) =
+  let n = (Nat.bit_length prm.p + 7) / 8 in
+  Nat.to_bytes_be ~len:n (Fp.to_nat g.Fp2.re) ^ Nat.to_bytes_be ~len:n (Fp.to_nat g.Fp2.im)
+
+let gt_of_bytes (prm : Params.t) s =
+  let n = (Nat.bit_length prm.p + 7) / 8 in
+  if String.length s <> 2 * n then None
+  else begin
+    let re = Nat.of_bytes_be (String.sub s 0 n) in
+    let im = Nat.of_bytes_be (String.sub s n n) in
+    if Nat.compare re prm.p >= 0 || Nat.compare im prm.p >= 0 then None
+    else Some (Fp2.make re im)
+  end

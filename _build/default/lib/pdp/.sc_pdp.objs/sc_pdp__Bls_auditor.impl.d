@@ -1,0 +1,1 @@
+lib/pdp/bls_auditor.ml: Array Curve List Modular Nat Printf Sc_bignum Sc_ec Sc_pairing

@@ -1,0 +1,1 @@
+lib/pdp/bls_auditor.mli: Curve Nat Sc_bignum Sc_ec Sc_pairing

@@ -1,0 +1,1 @@
+lib/pdp/por.ml: Array Buffer Char List Sc_erasure Sc_hash String

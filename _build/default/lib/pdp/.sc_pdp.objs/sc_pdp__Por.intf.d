@@ -1,0 +1,1 @@
+lib/pdp/por.mli: Sc_hash

@@ -1,0 +1,1 @@
+lib/pdp/rsa_pdp.ml: Array List Modular Nat Printf Sc_bignum Sc_hash Sc_rsa String

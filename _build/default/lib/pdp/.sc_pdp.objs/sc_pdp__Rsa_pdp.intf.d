@@ -1,0 +1,1 @@
+lib/pdp/rsa_pdp.mli: Nat Sc_bignum

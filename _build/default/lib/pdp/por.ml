@@ -1,0 +1,138 @@
+module Rs = Sc_erasure.Reed_solomon
+module Hmac = Sc_hash.Hmac
+module Drbg = Sc_hash.Drbg
+
+type client = {
+  key : string;
+  rs : Rs.params;
+  sentinels : int;
+  total : int; (* n + sentinels *)
+  block_len : int;
+  positions : int array; (* positions.(i): where logical block i lives *)
+  sentinel_start : int; (* logical ids >= n are sentinels *)
+}
+
+type stored_block = { payload : string; tag : string }
+
+(* Keyed keystream for block encryption: HMAC-SHA256 in counter mode. *)
+let keystream ~key ~pos len =
+  let buf = Buffer.create len in
+  let block = ref 0 in
+  while Buffer.length buf < len do
+    Buffer.add_string buf
+      (Hmac.mac_concat ~key [ "ks"; string_of_int pos; ":"; string_of_int !block ]);
+    incr block
+  done;
+  Buffer.sub buf 0 len
+
+let xor_string a b =
+  String.init (String.length a) (fun i ->
+      Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let encrypt ~key ~pos payload = xor_string payload (keystream ~key ~pos (String.length payload))
+let decrypt = encrypt
+
+let mac_block ~key ~pos payload =
+  Hmac.mac_concat ~key [ "tag"; string_of_int pos; ":"; payload ]
+
+let sentinel_value ~key ~index len =
+  let base = Hmac.mac_concat ~key [ "sentinel"; string_of_int index ] in
+  let buf = Buffer.create len in
+  while Buffer.length buf < len do
+    Buffer.add_string buf base
+  done;
+  Buffer.sub buf 0 len
+
+(* Keyed permutation of [0, total): logical block i is stored at
+   positions.(i). *)
+let permutation ~key total =
+  let drbg = Drbg.create ~seed:("por-perm:" ^ key) in
+  let a = Array.init total (fun i -> i) in
+  for i = total - 1 downto 1 do
+    let j = Drbg.uniform_int drbg (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let encode ~key ~k ~n ~sentinels data =
+  if sentinels < 1 then invalid_arg "Por.encode: need at least one sentinel";
+  let rs = Rs.create ~k ~n in
+  let code_shards = Array.of_list (Rs.encode_string rs data) in
+  let block_len = String.length code_shards.(0) in
+  let total = n + sentinels in
+  let positions = permutation ~key total in
+  let client =
+    { key; rs; sentinels; total; block_len; positions; sentinel_start = n }
+  in
+  let stored = Array.make total { payload = ""; tag = "" } in
+  for logical = 0 to total - 1 do
+    let pos = positions.(logical) in
+    let plain =
+      if logical < n then code_shards.(logical)
+      else sentinel_value ~key ~index:(logical - n) block_len
+    in
+    let payload = encrypt ~key ~pos plain in
+    stored.(pos) <- { payload; tag = mac_block ~key ~pos payload }
+  done;
+  client, stored
+
+let total_blocks c = c.total
+
+let challenge c ~drbg ~count =
+  if count > c.sentinels then invalid_arg "Por.challenge: not enough sentinels";
+  (* Sample distinct sentinel logical ids and map them to positions. *)
+  let ids = Array.init c.sentinels (fun i -> i) in
+  for i = 0 to count - 1 do
+    let j = i + Drbg.uniform_int drbg (c.sentinels - i) in
+    let tmp = ids.(i) in
+    ids.(i) <- ids.(j);
+    ids.(j) <- tmp
+  done;
+  List.init count (fun i -> c.positions.(c.sentinel_start + ids.(i)))
+
+let logical_of_position c pos =
+  (* positions is a permutation; invert by scan (files have modest
+     block counts; callers needing scale would cache the inverse). *)
+  let rec find i =
+    if i >= c.total then invalid_arg "Por: position out of range"
+    else if c.positions.(i) = pos then i
+    else find (i + 1)
+  in
+  find 0
+
+let check_block c ~pos (b : stored_block) =
+  String.equal b.tag (mac_block ~key:c.key ~pos b.payload)
+  && String.length b.payload = c.block_len
+
+let verify_response c responses =
+  responses <> []
+  && List.for_all
+       (fun (pos, block) ->
+         match block with
+         | None -> false
+         | Some b ->
+           check_block c ~pos b
+           &&
+           let logical = logical_of_position c pos in
+           logical >= c.sentinel_start
+           && String.equal
+                (decrypt ~key:c.key ~pos b.payload)
+                (sentinel_value ~key:c.key
+                   ~index:(logical - c.sentinel_start) c.block_len))
+       responses
+
+let extract c blocks =
+  if Array.length blocks <> c.total then None
+  else begin
+    let survivors = ref [] in
+    for logical = c.sentinel_start - 1 downto 0 do
+      let pos = c.positions.(logical) in
+      match blocks.(pos) with
+      | Some b when check_block c ~pos b ->
+        survivors := (logical, decrypt ~key:c.key ~pos b.payload) :: !survivors
+      | Some _ | None -> ()
+    done;
+    Rs.decode_string c.rs !survivors
+  end

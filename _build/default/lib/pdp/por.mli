@@ -1,0 +1,47 @@
+(** Proof of Retrievability in the style of Juels–Kaliski (ref [11] of
+    the paper): the file is erasure-encoded, encrypted with a keyed
+    stream, and indistinguishable *sentinel* blocks are hidden at
+    keyed pseudorandom positions.
+
+    - Spot-checking sentinels detects large-scale deletion: a server
+      that dropped a fraction δ of blocks gets caught per sentinel
+      with probability δ.
+    - Retrievability is unconditional on top of the code: as long as
+      enough blocks survive (k of n code shards), {!extract}
+      reconstructs the exact file, using per-block MACs to locate
+      erasures.
+
+    The verifier state is a single key plus the shape parameters. *)
+
+type client
+(** Verifier-side state (key + parameters), independent of file size. *)
+
+type stored_block = { payload : string; tag : string }
+(** What the server stores per position: opaque encrypted bytes and
+    their MAC. *)
+
+val encode :
+  key:string ->
+  k:int ->
+  n:int ->
+  sentinels:int ->
+  string ->
+  client * stored_block array
+(** Erasure-encode (k-of-n), encrypt, inject sentinels, MAC every
+    block.  The array is what gets outsourced. *)
+
+val total_blocks : client -> int
+
+val challenge : client -> drbg:Sc_hash.Drbg.t -> count:int -> int list
+(** Positions of [count] not-yet-obviously-revealed sentinels.
+    @raise Invalid_argument if more sentinels are requested than
+    exist. *)
+
+val verify_response : client -> (int * stored_block option) list -> bool
+(** Checks each returned sentinel block (MAC and hidden value); any
+    missing or wrong block fails. *)
+
+val extract : client -> stored_block option array -> string option
+(** Reconstruct the file from whatever blocks survive ([None] =
+    missing).  Corrupt blocks are detected by their MACs and treated
+    as erasures.  Succeeds whenever ≥ k valid code shards remain. *)

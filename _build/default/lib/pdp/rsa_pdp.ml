@@ -1,0 +1,77 @@
+open Sc_bignum
+
+type keys = {
+  secret : Sc_rsa.Rsa.secret;
+  g : Nat.t; (* random quadratic residue mod N *)
+  nmod : Modular.ctx;
+}
+
+type tagged_file = { name : string; blocks : Nat.t array; tags : Nat.t array }
+type challenge = (int * int) list
+type proof = { t : Nat.t; mu : Nat.t }
+
+let generate_keys ~bytes_source ~bits =
+  let secret = Sc_rsa.Rsa.generate ~bytes_source ~bits in
+  let nmod = Modular.create secret.Sc_rsa.Rsa.pub.n in
+  let r = Nat.random_below ~bytes_source secret.Sc_rsa.Rsa.pub.n in
+  { secret; g = Modular.sqr nmod r; nmod }
+
+(* Block contents are embedded as bounded integers so that μ = Σ a_i·m_i
+   stays small; 128 bits is plenty for the cost model. *)
+let block_to_int block =
+  Nat.of_bytes_be (String.sub (Sc_hash.Sha256.digest ("pdpblk:" ^ block)) 0 16)
+
+let index_hash keys ~name i =
+  Sc_rsa.Rsa.fdh keys.secret.Sc_rsa.Rsa.pub (Printf.sprintf "pdptag:%s:%d" name i)
+
+let tag_file keys ~name raw_blocks =
+  let blocks = Array.of_list (List.map block_to_int raw_blocks) in
+  let tags =
+    Array.mapi
+      (fun i m ->
+        let base = Modular.mul keys.nmod (index_hash keys ~name i)
+            (Modular.pow keys.nmod keys.g m)
+        in
+        Sc_rsa.Rsa.raw_sign keys.secret base)
+      blocks
+  in
+  { name; blocks; tags }
+
+let make_challenge ~bytes_source ~n_blocks ~samples =
+  if samples > n_blocks then invalid_arg "Rsa_pdp.make_challenge: too many samples";
+  let idx = Array.init n_blocks (fun i -> i) in
+  for i = 0 to samples - 1 do
+    let j = i + (Nat.to_int_exn (Nat.random ~bytes_source ~bits:30) mod (n_blocks - i)) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  List.init samples (fun i ->
+      idx.(i), 1 + Nat.to_int_exn (Nat.random ~bytes_source ~bits:16))
+
+let prove keys file chal =
+  let t =
+    List.fold_left
+      (fun acc (i, a) ->
+        Modular.mul keys.nmod acc
+          (Modular.pow keys.nmod file.tags.(i) (Nat.of_int a)))
+      Nat.one chal
+  in
+  let mu =
+    List.fold_left
+      (fun acc (i, a) -> Nat.add acc (Nat.mul (Nat.of_int a) file.blocks.(i)))
+      Nat.zero chal
+  in
+  { t; mu }
+
+let verify keys ~name chal { t; mu } =
+  let lhs = Sc_rsa.Rsa.raw_verify keys.secret.Sc_rsa.Rsa.pub t in
+  let rhs =
+    List.fold_left
+      (fun acc (i, a) ->
+        Modular.mul keys.nmod acc
+          (Modular.pow keys.nmod (index_hash keys ~name i) (Nat.of_int a)))
+      (Modular.pow keys.nmod keys.g mu)
+      chal
+  in
+  Nat.equal lhs rhs

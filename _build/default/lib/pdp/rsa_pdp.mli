@@ -1,0 +1,39 @@
+(** RSA-homomorphic-tag provable data possession in the style of
+    Ateniese et al. (CCS'07, ref [8] of the paper).
+
+    - tag:    T_i = (h(v‖i) · g^{m_i})^d  (mod N)
+    - prove:  T = Π T_i^{a_i},  μ = Σ a_i·m_i  (plain integers)
+    - verify: T^e = Π h(v‖i)^{a_i} · g^{μ}  (mod N)
+
+    The variant here keeps the homomorphic-verification core of the
+    original scheme while omitting its knowledge-of-exponent blinding
+    (which only matters against a verifier colluding with the prover),
+    as the paper's comparison is about verification cost. *)
+
+open Sc_bignum
+
+type keys
+
+type tagged_file = {
+  name : string;
+  blocks : Nat.t array;
+  tags : Nat.t array;
+}
+
+type challenge = (int * int) list
+(** (index, small positive coefficient) pairs. *)
+
+type proof = { t : Nat.t; mu : Nat.t }
+
+val generate_keys : bytes_source:(int -> string) -> bits:int -> keys
+
+val block_to_int : string -> Nat.t
+(** Bounded-integer embedding of raw block bytes. *)
+
+val tag_file : keys -> name:string -> string list -> tagged_file
+
+val make_challenge :
+  bytes_source:(int -> string) -> n_blocks:int -> samples:int -> challenge
+
+val prove : keys -> tagged_file -> challenge -> proof
+val verify : keys -> name:string -> challenge -> proof -> bool

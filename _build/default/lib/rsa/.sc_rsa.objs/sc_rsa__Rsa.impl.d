@@ -1,0 +1,1 @@
+lib/rsa/rsa.ml: Buffer Modular Montgomery Nat Prime Sc_bignum Sc_hash

@@ -1,0 +1,23 @@
+(** RSA with full-domain-hash signatures — the "RSA" row of the
+    paper's Table II.  Textbook-structure keygen with Miller–Rabin
+    primes and an FDH built by counter-mode expansion of SHA-256. *)
+
+open Sc_bignum
+
+type public = { n : Nat.t; e : Nat.t }
+type secret = { pub : public; d : Nat.t }
+
+val generate : bytes_source:(int -> string) -> bits:int -> secret
+(** [bits] is the modulus size; e = 65537. *)
+
+val fdh : public -> string -> Nat.t
+(** Full-domain hash of a message into Z_n. *)
+
+val sign : secret -> string -> Nat.t
+val verify : public -> string -> Nat.t -> bool
+
+val raw_sign : secret -> Nat.t -> Nat.t
+(** s = m^d mod n on an already-encoded representative. *)
+
+val raw_verify : public -> Nat.t -> Nat.t
+(** s^e mod n. *)

@@ -1,0 +1,1 @@
+lib/seccloud/agency.ml: Array Cloud List Logs Sc_audit Sc_hash Sc_ibc Sc_storage System

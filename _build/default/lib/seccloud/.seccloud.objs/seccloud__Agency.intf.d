@@ -1,0 +1,1 @@
+lib/seccloud/agency.mli: Cloud Sc_audit Sc_compute Sc_ibc System

@@ -1,0 +1,1 @@
+lib/seccloud/cloud.ml: Array Sc_audit Sc_compute Sc_hash Sc_ibc Sc_storage System

@@ -1,0 +1,1 @@
+lib/seccloud/cloud.mli: Sc_audit Sc_compute Sc_storage System

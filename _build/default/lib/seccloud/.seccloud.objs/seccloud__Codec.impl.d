@@ -1,0 +1,1 @@
+lib/seccloud/codec.ml: Buffer Char Int64 List String

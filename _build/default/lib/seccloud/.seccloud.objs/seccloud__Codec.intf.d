@@ -1,0 +1,1 @@
+lib/seccloud/codec.mli: Buffer

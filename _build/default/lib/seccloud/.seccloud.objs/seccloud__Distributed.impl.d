@@ -1,0 +1,1 @@
+lib/seccloud/distributed.ml: Agency Array Cloud List Sc_compute User

@@ -1,0 +1,1 @@
+lib/seccloud/distributed.mli: Agency Cloud Sc_audit Sc_compute Sc_ibc User

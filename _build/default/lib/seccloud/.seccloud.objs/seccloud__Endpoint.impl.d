@@ -1,0 +1,1 @@
+lib/seccloud/endpoint.ml: Agency Cloud Hashtbl List Sc_audit Sc_compute Sc_hash Sc_storage System Wire

@@ -1,0 +1,1 @@
+lib/seccloud/endpoint.mli: Agency Cloud Sc_audit Sc_ibc System

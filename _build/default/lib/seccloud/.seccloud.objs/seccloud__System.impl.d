@@ -1,0 +1,1 @@
+lib/seccloud/system.ml: Hashtbl Lazy List Logs Sc_bignum Sc_hash Sc_ibc Sc_pairing

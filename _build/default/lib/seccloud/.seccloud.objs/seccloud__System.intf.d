@@ -1,0 +1,1 @@
+lib/seccloud/system.mli: Sc_hash Sc_ibc Sc_pairing

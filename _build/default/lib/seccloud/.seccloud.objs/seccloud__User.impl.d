@@ -1,0 +1,1 @@
+lib/seccloud/user.ml: Cloud Sc_ibc Sc_storage System

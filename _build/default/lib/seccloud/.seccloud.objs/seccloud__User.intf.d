@@ -1,0 +1,1 @@
+lib/seccloud/user.mli: Cloud Sc_ibc Sc_storage System

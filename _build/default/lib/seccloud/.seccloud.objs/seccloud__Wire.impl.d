@@ -1,0 +1,1 @@
+lib/seccloud/wire.ml: Array Buffer Codec Sc_audit Sc_compute Sc_ec Sc_ibc Sc_merkle Sc_pairing Sc_storage String

@@ -1,0 +1,1 @@
+lib/seccloud/wire.mli: Sc_audit Sc_compute Sc_ibc Sc_storage

@@ -1,0 +1,187 @@
+module Server = Sc_storage.Server
+module Signer = Sc_storage.Signer
+module Protocol = Sc_audit.Protocol
+module Batch = Sc_audit.Batch
+module Sampling = Sc_audit.Sampling
+module Agg = Sc_ibc.Agg
+module Block = Sc_storage.Block
+
+let src = Logs.Src.create "seccloud.agency" ~doc:"Designated-agency audit events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = { system : System.t; drbg : Sc_hash.Drbg.t }
+
+let create system =
+  { system; drbg = Sc_hash.Drbg.create ~seed:"designated-agency" }
+
+type storage_report = {
+  sampled : int;
+  valid_blocks : int;
+  invalid_indices : int list;
+  intact : bool;
+}
+
+let sample_indices t ~n ~samples =
+  let samples = min samples n in
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to samples - 1 do
+    let j = i + Sc_hash.Drbg.uniform_int t.drbg (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  List.init samples (fun i -> idx.(i))
+
+let read_samples t cloud ~file ~samples =
+  match Server.file_size (Cloud.storage cloud) file with
+  | None -> None
+  | Some n ->
+    let indices = sample_indices t ~n ~samples in
+    Some
+      (List.map
+         (fun i -> i, Server.read (Cloud.storage cloud) ~file ~index:i)
+         indices)
+
+let report_of_checks checks =
+  let sampled = List.length checks in
+  let invalid_indices =
+    List.filter_map (fun (i, ok) -> if ok then None else Some i) checks
+  in
+  {
+    sampled;
+    valid_blocks = sampled - List.length invalid_indices;
+    invalid_indices;
+    intact = invalid_indices = [];
+  }
+
+let audit_storage t cloud ~owner ~file ~samples =
+  let pub = System.public t.system in
+  let da_key = System.da_key t.system in
+  match read_samples t cloud ~file ~samples with
+  | None -> { sampled = 0; valid_blocks = 0; invalid_indices = []; intact = false }
+  | Some reads ->
+    let checks =
+      List.map
+        (fun (i, read) ->
+          match read with
+          | None -> i, false
+          | Some { Server.claimed; signed } ->
+            ( i,
+              claimed.Block.index = i
+              && Signer.verify_block pub ~verifier_key:da_key ~role:`Da ~owner
+                   claimed signed ))
+        reads
+    in
+    let report = report_of_checks checks in
+    Log.info (fun m ->
+        m "storage audit %s/%s: %d/%d valid, intact=%b" owner file
+          report.valid_blocks report.sampled report.intact);
+    report
+
+let audit_storage_batched t cloud ~owner ~file ~samples =
+  let pub = System.public t.system in
+  let da_key = System.da_key t.system in
+  match read_samples t cloud ~file ~samples with
+  | None -> { sampled = 0; valid_blocks = 0; invalid_indices = []; intact = false }
+  | Some reads ->
+    let well_formed =
+      List.filter_map
+        (fun (i, read) ->
+          match read with
+          | Some { Server.claimed; signed } when claimed.Block.index = i ->
+            Some (i, claimed, signed)
+          | Some _ | None -> None)
+        reads
+    in
+    let missing =
+      List.filter_map
+        (fun (i, read) ->
+          match read with
+          | Some { Server.claimed; _ } when claimed.Block.index = i -> None
+          | Some _ | None -> Some i)
+        reads
+    in
+    let entries =
+      List.map
+        (fun (_, claimed, signed) ->
+          {
+            Agg.signer = owner;
+            msg = Block.signing_message claimed;
+            dvs = Signer.dvs_for `Da signed;
+          })
+        well_formed
+    in
+    if missing = [] && Agg.verify_batch pub ~verifier_key:da_key entries then
+      {
+        sampled = List.length reads;
+        valid_blocks = List.length reads;
+        invalid_indices = [];
+        intact = true;
+      }
+    else begin
+      (* Locate offenders individually. *)
+      let checks =
+        List.map
+          (fun (i, read) ->
+            match read with
+            | None -> i, false
+            | Some { Server.claimed; signed } ->
+              ( i,
+                claimed.Block.index = i
+                && Signer.verify_block pub ~verifier_key:da_key ~role:`Da
+                     ~owner claimed signed ))
+          reads
+      in
+      report_of_checks checks
+    end
+
+let choose_sample_size ?(eps = 1e-4) ?(range = infinity) ~csc ~ssc () =
+  match
+    Sampling.required_samples ~csc ~ssc ~range ~sig_forge:1e-9 ~eps ()
+  with
+  | Some tt -> tt
+  | None -> max_int
+
+let audit_computation t cloud ~owner ~execution ~warrant ~now ~samples =
+  let pub = System.public t.system in
+  let da_key = System.da_key t.system in
+  let commitment = Protocol.commitment_of_execution execution in
+  let challenge =
+    Protocol.make_challenge ~drbg:t.drbg ~n_tasks:commitment.Protocol.n_tasks
+      ~samples ~warrant
+  in
+  match Cloud.respond_to_audit cloud ~now execution challenge with
+  | None ->
+    { Protocol.valid = false; failures = [ Protocol.Warrant_invalid ] }
+  | Some responses ->
+    let verdict =
+      Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner commitment
+        challenge responses
+    in
+    Log.info (fun m ->
+        m "computation audit %s (t=%d): valid=%b, %d failures" owner samples
+          verdict.Protocol.valid
+          (List.length verdict.Protocol.failures));
+    verdict
+
+let audit_computation_batched t jobs ~now ~samples =
+  let pub = System.public t.system in
+  let da_key = System.da_key t.system in
+  let prepared =
+    List.filter_map
+      (fun (cloud, owner, execution, warrant) ->
+        let commitment = Protocol.commitment_of_execution execution in
+        let challenge =
+          Protocol.make_challenge ~drbg:t.drbg
+            ~n_tasks:commitment.Protocol.n_tasks ~samples ~warrant
+        in
+        match Cloud.respond_to_audit cloud ~now execution challenge with
+        | None -> None
+        | Some responses ->
+          Some { Batch.owner; commitment; challenge; responses })
+      jobs
+  in
+  if List.length prepared < List.length jobs then
+    { Protocol.valid = false; failures = [ Protocol.Warrant_invalid ] }
+  else Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da prepared

@@ -1,0 +1,51 @@
+(** The Designated Agency: audits storage and computation on behalf
+    of users (§V-D, §VI), choosing sample sizes with the §VII
+    analysis. *)
+
+type t
+
+val create : System.t -> t
+
+type storage_report = {
+  sampled : int;
+  valid_blocks : int;
+  invalid_indices : int list;
+  intact : bool;
+}
+
+val audit_storage :
+  t -> Cloud.t -> owner:string -> file:string -> samples:int -> storage_report
+(** Protocol II auditing: sample block positions, read them from the
+    server and run designated verification (eq. 7) on each. *)
+
+val audit_storage_batched :
+  t -> Cloud.t -> owner:string -> file:string -> samples:int -> storage_report
+(** Same decision, but all sampled signatures verified in one
+    aggregate equation (§VI).  On aggregate failure it falls back to
+    per-block checks to locate the bad indices. *)
+
+val choose_sample_size :
+  ?eps:float -> ?range:float -> csc:float -> ssc:float -> unit -> int
+(** Required t for the target ε (default 1e−4) against assumed
+    confidences — the Figure 4 calculation. *)
+
+val audit_computation :
+  t ->
+  Cloud.t ->
+  owner:string ->
+  execution:Sc_compute.Executor.execution ->
+  warrant:Sc_ibc.Warrant.signed ->
+  now:float ->
+  samples:int ->
+  Sc_audit.Protocol.verdict
+(** Protocol III auditing: challenge, collect responses, run
+    Algorithm 1. *)
+
+val audit_computation_batched :
+  t ->
+  (Cloud.t * string * Sc_compute.Executor.execution * Sc_ibc.Warrant.signed) list ->
+  now:float ->
+  samples:int ->
+  Sc_audit.Protocol.verdict
+(** Concurrent multi-user auditing with batched verification (§VI):
+    one aggregated signature equation across all jobs. *)

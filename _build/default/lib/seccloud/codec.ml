@@ -1,0 +1,104 @@
+exception Decode_error of string
+
+let fail msg = raise (Decode_error msg)
+
+let w_u8 b v =
+  if v < 0 || v > 0xFF then invalid_arg "Codec.w_u8: out of range";
+  Buffer.add_char b (Char.chr v)
+
+let w_u32 b v =
+  if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.w_u32: out of range";
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char b (Char.chr (v land 0xFF))
+
+let w_i64 b v =
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((v asr (8 * i)) land 0xFF))
+  done
+
+let w_bytes b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_list b f l =
+  w_u32 b (List.length l);
+  List.iter (f b) l
+
+let w_option b f = function
+  | None -> w_u8 b 0
+  | Some v ->
+    w_u8 b 1;
+    f b v
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_float b v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    let byte =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)
+    in
+    Buffer.add_char b (Char.chr byte)
+  done
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let take r n =
+  if n < 0 || r.pos + n > String.length r.data then fail "truncated input";
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_u8 r = Char.code (take r 1).[0]
+
+let r_u32 r =
+  let s = take r 4 in
+  (Char.code s.[0] lsl 24)
+  lor (Char.code s.[1] lsl 16)
+  lor (Char.code s.[2] lsl 8)
+  lor Char.code s.[3]
+
+let r_i64 r =
+  let s = take r 8 in
+  let v = ref 0 in
+  String.iter (fun c -> v := (!v lsl 8) lor Char.code c) s;
+  (* The 64-bit pattern came from a native 63-bit int, so bit 63
+     equals bit 62; shifting once left then arithmetic-right restores
+     the sign lost when bit 63 fell off the accumulator. *)
+  !v lsl 1 asr 1
+
+let r_bytes r =
+  let n = r_u32 r in
+  take r n
+
+let r_list r f =
+  let n = r_u32 r in
+  if n > String.length r.data then fail "list length exceeds input";
+  List.init n (fun _ -> f r)
+
+let r_option r f =
+  match r_u8 r with
+  | 0 -> None
+  | 1 -> Some (f r)
+  | _ -> fail "invalid option tag"
+
+let r_bool r =
+  match r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> fail "invalid bool tag"
+
+let r_float r =
+  let s = take r 8 in
+  let v = ref 0L in
+  String.iter
+    (fun c -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c)))
+    s;
+  Int64.float_of_bits !v
+
+let expect_end r =
+  if r.pos <> String.length r.data then fail "trailing bytes"

@@ -1,0 +1,38 @@
+(** Minimal binary codec toolkit for the wire protocol: big-endian
+    fixed-width integers, length-prefixed byte strings, lists and
+    options, with a raising reader cursor. *)
+
+exception Decode_error of string
+
+(** Writers append to a buffer. *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_u32 : Buffer.t -> int -> unit
+val w_i64 : Buffer.t -> int -> unit
+(** Full native [int] range, two's complement in 8 bytes. *)
+
+val w_bytes : Buffer.t -> string -> unit
+(** u32 length prefix + raw bytes. *)
+
+val w_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+val w_option : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+val w_bool : Buffer.t -> bool -> unit
+val w_float : Buffer.t -> float -> unit
+
+(** A reader holds a cursor into an immutable string and raises
+    {!Decode_error} on malformed input. *)
+
+type reader
+
+val reader : string -> reader
+val r_u8 : reader -> int
+val r_u32 : reader -> int
+val r_i64 : reader -> int
+val r_bytes : reader -> string
+val r_list : reader -> (reader -> 'a) -> 'a list
+val r_option : reader -> (reader -> 'a) -> 'a option
+val r_bool : reader -> bool
+val r_float : reader -> float
+
+val expect_end : reader -> unit
+(** @raise Decode_error when trailing bytes remain. *)

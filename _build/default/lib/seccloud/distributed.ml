@@ -1,0 +1,81 @@
+module Task = Sc_compute.Task
+module Executor = Sc_compute.Executor
+
+type shard = {
+  cloud : Cloud.t;
+  service : Task.service;
+  original_indices : int array;
+}
+
+type execution = {
+  shards : (shard * Executor.execution) list;
+  total_tasks : int;
+  owner : string;
+  file : string;
+}
+
+let plan ~clouds service =
+  if clouds = [] then invalid_arg "Distributed.plan: no clouds";
+  if service = [] then invalid_arg "Distributed.plan: empty service";
+  let cloud_arr = Array.of_list clouds in
+  let n_clouds = Array.length cloud_arr in
+  let buckets = Array.make n_clouds [] in
+  List.iteri
+    (fun i request ->
+      let b = i mod n_clouds in
+      buckets.(b) <- (i, request) :: buckets.(b))
+    service;
+  List.filter_map
+    (fun (b, assigned) ->
+      match List.rev assigned with
+      | [] -> None
+      | assigned ->
+        Some
+          {
+            cloud = cloud_arr.(b);
+            service = List.map snd assigned;
+            original_indices = Array.of_list (List.map fst assigned);
+          })
+    (List.mapi (fun b l -> b, l) (Array.to_list buckets))
+
+let store_replicated user clouds ~file payloads =
+  List.for_all (fun cloud -> User.store user cloud ~file payloads) clouds
+
+let execute ~owner ~file shards =
+  let shards =
+    List.map
+      (fun shard ->
+        shard, Cloud.execute shard.cloud ~owner ~file shard.service)
+      shards
+  in
+  let total_tasks =
+    List.fold_left (fun acc (s, _) -> acc + Array.length s.original_indices) 0
+      shards
+  in
+  { shards; total_tasks; owner; file }
+
+let results e =
+  let out = Array.make e.total_tasks 0 in
+  List.iter
+    (fun (shard, execution) ->
+      let ys = Executor.results execution in
+      Array.iteri (fun i orig -> out.(orig) <- ys.(i)) shard.original_indices)
+    e.shards;
+  out
+
+let map_reduce ~owner ~file ~clouds ~map ~positions ~reduce =
+  match
+    plan ~clouds (List.map (fun position -> { Task.func = map; position }) positions)
+  with
+  | exception Invalid_argument m -> Error m
+  | shards ->
+    let e = execute ~owner ~file shards in
+    Ok (Task.apply reduce (Array.to_list (results e)), e)
+
+let audit agency e ~warrant ~now ~samples_per_shard =
+  let jobs =
+    List.map
+      (fun (shard, execution) -> shard.cloud, e.owner, execution, warrant)
+      e.shards
+  in
+  Agency.audit_computation_batched agency jobs ~now ~samples:samples_per_shard

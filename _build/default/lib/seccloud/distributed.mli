@@ -1,0 +1,63 @@
+(** MapReduce-style distribution of a computing service across cloud
+    servers (§III-A: "CSP could divide such a task into multiple
+    sub-tasks and allow them parallelly executed across hundreds of
+    Cloud Computing servers"), with per-shard Merkle commitments and
+    one batched audit over all shards.
+
+    The user's file is replicated to every participating server; the
+    service is split round-robin; each server executes and commits to
+    its shard independently; results are recombined in the original
+    order.  The DA audits all shards in a single §VI batch, so a
+    single cheating shard poisons the whole job's verdict and is
+    named in the failure list. *)
+
+type shard = {
+  cloud : Cloud.t;
+  service : Sc_compute.Task.service;
+  original_indices : int array;
+      (** [original_indices.(i)] is the position of the shard's i-th
+          sub-task in the user's request. *)
+}
+
+type execution = {
+  shards : (shard * Sc_compute.Executor.execution) list;
+  total_tasks : int;
+  owner : string;
+  file : string;
+}
+
+val plan : clouds:Cloud.t list -> Sc_compute.Task.service -> shard list
+(** Round-robin partition; servers with no assigned sub-task are
+    dropped.  @raise Invalid_argument on an empty cloud list or
+    service. *)
+
+val store_replicated :
+  User.t -> Cloud.t list -> file:string -> string list -> bool
+(** Protocol II to every server; true iff all accepted. *)
+
+val execute :
+  owner:string -> file:string -> shard list -> execution
+(** Protocol III on every shard. *)
+
+val results : execution -> int array
+(** All sub-task results, restored to the user's request order. *)
+
+val map_reduce :
+  owner:string ->
+  file:string ->
+  clouds:Cloud.t list ->
+  map:Sc_compute.Task.func ->
+  positions:int list ->
+  reduce:Sc_compute.Task.func ->
+  (int * execution, string) result
+(** The classic pattern: apply [map] to each position (distributed),
+    then [reduce] over the vector of mapped results locally. *)
+
+val audit :
+  Agency.t ->
+  execution ->
+  warrant:Sc_ibc.Warrant.signed ->
+  now:float ->
+  samples_per_shard:int ->
+  Sc_audit.Protocol.verdict
+(** One batched audit across every shard's commitment. *)

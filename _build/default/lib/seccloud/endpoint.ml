@@ -1,0 +1,120 @@
+module Protocol = Sc_audit.Protocol
+module Server_impl = Sc_storage.Server
+
+module Server = struct
+  type t = {
+    system : System.t;
+    cloud : Cloud.t;
+    executions : (string * string, Sc_compute.Executor.execution) Hashtbl.t;
+  }
+
+  let create system cloud = { system; cloud; executions = Hashtbl.create 8 }
+
+  let reply t msg = Wire.encode (System.public t.system) msg
+  let err t detail = reply t (Wire.Ack { ok = false; detail })
+
+  let handle t ~now data =
+    let pub = System.public t.system in
+    match Wire.decode pub data with
+    | exception Wire.Decode_error detail -> err t ("decode: " ^ detail)
+    | Wire.Upload upload ->
+      let ok = Cloud.accept_upload t.cloud upload in
+      reply t (Wire.Ack { ok; detail = (if ok then "stored" else "rejected") })
+    | Wire.Storage_challenge { file; indices } ->
+      let items =
+        List.map
+          (fun i -> i, Server_impl.read (Cloud.storage t.cloud) ~file ~index:i)
+          indices
+      in
+      reply t (Wire.Storage_response items)
+    | Wire.Compute_request { owner; file; service } ->
+      (match Cloud.execute t.cloud ~owner ~file service with
+      | exception Invalid_argument m -> err t m
+      | execution ->
+        Hashtbl.replace t.executions (owner, file) execution;
+        reply t
+          (Wire.Compute_commitment
+             {
+               results = Sc_compute.Executor.results execution;
+               commitment = Protocol.commitment_of_execution execution;
+             }))
+    | Wire.Audit_challenge { owner; file; challenge } ->
+      (match Hashtbl.find_opt t.executions (owner, file) with
+      | None -> err t "no execution for this owner/file"
+      | Some execution ->
+        (match Cloud.respond_to_audit t.cloud ~now execution challenge with
+        | None -> err t "warrant rejected"
+        | Some responses -> reply t (Wire.Audit_response responses)))
+    | Wire.Storage_response _ | Wire.Compute_commitment _
+    | Wire.Audit_response _ | Wire.Ack _ ->
+      err t "unexpected message kind"
+end
+
+module Da = struct
+  type t = { system : System.t; drbg : Sc_hash.Drbg.t }
+
+  let create system =
+    { system; drbg = Sc_hash.Drbg.create ~seed:"da-endpoint" }
+
+  let audit_storage_over_wire t ~transport ~owner ~file ~indices =
+    let pub = System.public t.system in
+    let da_key = System.da_key t.system in
+    let request = Wire.encode pub (Wire.Storage_challenge { file; indices }) in
+    let fail =
+      {
+        Agency.sampled = List.length indices;
+        valid_blocks = 0;
+        invalid_indices = indices;
+        intact = false;
+      }
+    in
+    match Wire.decode pub (transport request) with
+    | exception Wire.Decode_error _ -> fail
+    | Wire.Storage_response items ->
+      let checks =
+        List.map
+          (fun i ->
+            match List.assoc_opt i items with
+            | Some (Some { Server_impl.claimed; signed }) ->
+              ( i,
+                claimed.Sc_storage.Block.index = i
+                && Sc_storage.Signer.verify_block pub ~verifier_key:da_key
+                     ~role:`Da ~owner claimed signed )
+            | Some None | None -> i, false)
+          indices
+      in
+      let invalid = List.filter_map (fun (i, ok) -> if ok then None else Some i) checks in
+      {
+        Agency.sampled = List.length indices;
+        valid_blocks = List.length indices - List.length invalid;
+        invalid_indices = invalid;
+        intact = invalid = [];
+      }
+    | Wire.Upload _ | Wire.Storage_challenge _ | Wire.Compute_request _
+    | Wire.Compute_commitment _ | Wire.Audit_challenge _
+    | Wire.Audit_response _ | Wire.Ack _ ->
+      fail
+
+  let audit_computation_over_wire t ~transport ~owner ~file ~commitment
+      ~warrant ~now:_ ~samples =
+    let pub = System.public t.system in
+    let da_key = System.da_key t.system in
+    let challenge =
+      Protocol.make_challenge ~drbg:t.drbg
+        ~n_tasks:commitment.Protocol.n_tasks ~samples ~warrant
+    in
+    let request =
+      Wire.encode pub (Wire.Audit_challenge { owner; file; challenge })
+    in
+    let fail failure = { Protocol.valid = false; failures = [ failure ] } in
+    match Wire.decode pub (transport request) with
+    | exception Wire.Decode_error _ -> fail Protocol.Warrant_invalid
+    | Wire.Audit_response responses ->
+      Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner commitment
+        challenge responses
+    | Wire.Ack { ok = _; detail = _ } -> fail Protocol.Warrant_invalid
+    | Wire.Upload _ | Wire.Storage_challenge _ | Wire.Storage_response _
+    | Wire.Compute_request _ | Wire.Compute_commitment _
+    | Wire.Audit_challenge _ ->
+      fail Protocol.Warrant_invalid
+end

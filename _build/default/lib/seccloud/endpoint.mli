@@ -1,0 +1,55 @@
+(** Message-driven protocol endpoints: a cloud server and a DA that
+    communicate exclusively through encoded {!Wire} bytes, the way a
+    deployed SecCloud would over TCP.
+
+    The server endpoint is a pure byte-in/byte-out handler around a
+    {!Cloud.t}; the DA endpoint drives complete audit conversations
+    and returns verdicts.  Both sides re-validate everything they
+    decode, so the pair double as an integration test of the wire
+    layer: any message a test (or an attacker-in-the-middle) mangles
+    is rejected or fails verification. *)
+
+module Server : sig
+  type t
+
+  val create : System.t -> Cloud.t -> t
+
+  val handle : t -> now:float -> string -> string
+  (** Process one encoded request and return the encoded reply:
+      - [Upload] → [Ack] (verification per the server's behaviour);
+      - [Storage_challenge] → [Storage_response];
+      - [Compute_request] → [Compute_commitment] (the execution is
+        retained, keyed by owner and file, for later audits);
+      - [Audit_challenge] → [Audit_response] or an [Ack] error when
+        the warrant is rejected or no execution matches.
+      Malformed input or unexpected message kinds yield an error
+      [Ack] rather than an exception. *)
+end
+
+module Da : sig
+  type t
+
+  val create : System.t -> t
+
+  val audit_storage_over_wire :
+    t ->
+    transport:(string -> string) ->
+    owner:string ->
+    file:string ->
+    indices:int list ->
+    Agency.storage_report
+  (** Sends a [Storage_challenge] through [transport] (bytes → reply
+      bytes) and verifies whatever comes back. *)
+
+  val audit_computation_over_wire :
+    t ->
+    transport:(string -> string) ->
+    owner:string ->
+    file:string ->
+    commitment:Sc_audit.Protocol.commitment ->
+    warrant:Sc_ibc.Warrant.signed ->
+    now:float ->
+    samples:int ->
+    Sc_audit.Protocol.verdict
+  (** Runs the full Algorithm-1 conversation over the wire. *)
+end

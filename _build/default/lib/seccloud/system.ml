@@ -1,0 +1,57 @@
+module Setup = Sc_ibc.Setup
+
+let src = Logs.Src.create "seccloud.system" ~doc:"System initialization events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  sio : Setup.sio;
+  pub : Setup.public;
+  da_id : string;
+  da_key : Setup.identity_key;
+  cs_ids : string list;
+  cs_keys : (string, Setup.identity_key) Hashtbl.t;
+  users : (string, Setup.identity_key) Hashtbl.t;
+  drbg : Sc_hash.Drbg.t;
+}
+
+let create ?(params = Sc_pairing.Params.small) ~seed ~cs_ids ~da_id () =
+  let prm = Lazy.force params in
+  let drbg = Sc_hash.Drbg.create ~seed:("seccloud-system:" ^ seed) in
+  let bytes_source = Sc_hash.Drbg.bytes_source drbg in
+  let sio = Setup.create prm ~bytes_source in
+  let pub = Setup.public sio in
+  let cs_keys = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace cs_keys id (Setup.extract sio id)) cs_ids;
+  Log.info (fun m ->
+      m "system initialized: %d servers, da=%s, |q|=%d bits"
+        (List.length cs_ids) da_id
+        (Sc_bignum.Nat.bit_length prm.Sc_pairing.Params.q));
+  {
+    sio;
+    pub;
+    da_id;
+    da_key = Setup.extract sio da_id;
+    cs_ids;
+    cs_keys;
+    users = Hashtbl.create 8;
+    drbg;
+  }
+
+let public t = t.pub
+let da_id t = t.da_id
+let da_key t = t.da_key
+let cs_ids t = t.cs_ids
+let cs_key t id = Hashtbl.find t.cs_keys id
+
+let register_user t id =
+  match Hashtbl.find_opt t.users id with
+  | Some key -> key
+  | None ->
+    let key = Setup.extract t.sio id in
+    Hashtbl.replace t.users id key;
+    Log.info (fun m -> m "registered user %s" id);
+    key
+
+let drbg t = t.drbg
+let bytes_source t = Sc_hash.Drbg.bytes_source t.drbg

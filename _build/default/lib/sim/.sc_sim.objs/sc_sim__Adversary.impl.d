@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array List Sc_compute Sc_hash Sc_storage

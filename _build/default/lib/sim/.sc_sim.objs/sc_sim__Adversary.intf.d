@@ -1,0 +1,1 @@
+lib/sim/adversary.mli: Sc_compute Sc_hash Sc_storage

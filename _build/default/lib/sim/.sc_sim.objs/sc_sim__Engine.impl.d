@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Array Event_queue List Network Printf Sc_audit Sc_compute Sc_hash Sc_pairing Sc_storage Seccloud Sys

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Network Sc_audit Sc_pairing

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.ml: Sc_audit Sc_hash

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.mli: Sc_hash

@@ -1,0 +1,244 @@
+module Server = Sc_storage.Server
+module Executor = Sc_compute.Executor
+module Task = Sc_compute.Task
+module Optimal = Sc_audit.Optimal
+
+type config = {
+  seed : string;
+  params : Sc_pairing.Params.t lazy_t;
+  n_servers : int;
+  byzantine_bound : int;
+  n_users : int;
+  blocks_per_file : int;
+  ints_per_block : int;
+  tasks_per_service : int;
+  samples_per_audit : int;
+  epochs : int;
+  network : Network.config;
+  cheat_damage : float;
+}
+
+let default_config =
+  {
+    seed = "sim-default";
+    params = Sc_pairing.Params.toy;
+    n_servers = 4;
+    byzantine_bound = 1;
+    n_users = 2;
+    blocks_per_file = 32;
+    ints_per_block = 8;
+    tasks_per_service = 16;
+    samples_per_audit = 8;
+    epochs = 5;
+    network = Network.default_config;
+    cheat_damage = 100.0;
+  }
+
+type audit_outcome = {
+  epoch : int;
+  server : string;
+  user : string;
+  server_cheats : bool;
+  storage_ok : bool;
+  computation_ok : bool;
+  samples : int;
+  bytes : int;
+  recompute_seconds : float;
+}
+
+type stats = {
+  outcomes : audit_outcome list;
+  sim_time : float;
+  total_bytes : int;
+  detected : int;
+  undetected : int;
+  false_alarms : int;
+  honest_passed : int;
+  records : Optimal.audit_record list;
+}
+
+(* Byte accounting uses the real wire encoding (Seccloud.Wire), so the
+   C_trans fed to Theorem 3's history learning is exact. *)
+
+let run config =
+  let system =
+    Seccloud.System.create ~params:config.params ~seed:config.seed
+      ~cs_ids:(List.init config.n_servers (Printf.sprintf "cs-%d"))
+      ~da_id:"da" ()
+  in
+  let da = Seccloud.Agency.create system in
+  let drbg = Sc_hash.Drbg.create ~seed:("sim:" ^ config.seed) in
+  let adversary =
+    Adversary.create ~drbg ~bound:config.byzantine_bound
+      ~server_ids:(Seccloud.System.cs_ids system)
+      ()
+  in
+  let net = Network.create config.network in
+  let queue = Event_queue.create () in
+  let users =
+    List.init config.n_users (fun i ->
+        Seccloud.User.create system ~id:(Printf.sprintf "user-%d" i))
+  in
+  let payloads_for user_id =
+    List.init config.blocks_per_file (fun i ->
+        Sc_storage.Block.encode_ints
+          (List.init config.ints_per_block (fun j ->
+               Sc_hash.Drbg.uniform_int drbg 100 + i + j))
+        |> fun s -> ignore user_id; s)
+  in
+  let outcomes = ref [] in
+  let records = ref [] in
+  let run_epoch epoch_idx =
+    Adversary.new_epoch adversary;
+    (* Rebuild the fleet with this epoch's corruption assignment. *)
+    let clouds =
+      List.map
+        (fun id ->
+          match Adversary.corruption_of adversary id with
+          | None -> Seccloud.Cloud.create system ~id ()
+          | Some c ->
+            Seccloud.Cloud.create system ~id ~storage:c.Adversary.storage
+              ~compute:c.Adversary.compute ())
+        (Seccloud.System.cs_ids system)
+    in
+    let cloud_arr = Array.of_list clouds in
+    List.iteri
+      (fun ui user ->
+        let cloud = cloud_arr.(ui mod Array.length cloud_arr) in
+        let file = Printf.sprintf "file-%s-e%d" (Seccloud.User.id user) epoch_idx in
+        let payloads = payloads_for (Seccloud.User.id user) in
+        (* Upload (Protocol II): sign first, then charge the real wire
+           size of the Upload message. *)
+        let upload =
+          Seccloud.User.sign_file user ~cs_id:(Seccloud.Cloud.id cloud) ~file
+            payloads
+        in
+        let pub = Seccloud.System.public system in
+        let upload_bytes =
+          Seccloud.Wire.size pub (Seccloud.Wire.Upload upload)
+        in
+        let upload_delay = Network.record_transfer net ~bytes:upload_bytes in
+        Event_queue.schedule queue ~delay:upload_delay (fun () ->
+            (* Cheating servers skip the accept-time check. *)
+            (match Seccloud.Cloud.storage cloud |> Server.behaviour with
+            | Server.Honest -> ignore (Seccloud.Cloud.accept_upload cloud upload)
+            | Server.Delete_fraction _ | Server.Corrupt_fraction _
+            | Server.Substitute_fraction _ ->
+              Seccloud.Cloud.accept_upload_unchecked cloud upload);
+            (* Computation request (Protocol III) after the upload. *)
+            let service =
+              Task.random_service ~drbg ~n_positions:config.blocks_per_file
+                ~n_tasks:config.tasks_per_service
+            in
+            let execution =
+              Seccloud.Cloud.execute cloud ~owner:(Seccloud.User.id user) ~file
+                service
+            in
+            let now = Event_queue.now queue in
+            let warrant =
+              Seccloud.User.delegate_audit user ~now ~lifetime:3600.0
+                ~scope:("audit " ^ file)
+            in
+            (* Build the actual audit exchange so its exact wire size
+               can be charged. *)
+            let commitment =
+              Sc_audit.Protocol.commitment_of_execution execution
+            in
+            let challenge =
+              Sc_audit.Protocol.make_challenge ~drbg
+                ~n_tasks:commitment.Sc_audit.Protocol.n_tasks
+                ~samples:config.samples_per_audit ~warrant
+            in
+            let responses =
+              Sc_audit.Protocol.respond pub ~now execution challenge
+            in
+            let audit_bytes =
+              Seccloud.Wire.size pub
+                (Seccloud.Wire.Compute_commitment
+                   { results = Executor.results execution; commitment })
+              + Seccloud.Wire.size pub
+                  (Seccloud.Wire.Audit_challenge
+                     { owner = Seccloud.User.id user; file; challenge })
+              + (match responses with
+                | Some rs -> Seccloud.Wire.size pub (Seccloud.Wire.Audit_response rs)
+                | None -> 0)
+            in
+            let audit_delay = Network.record_transfer net ~bytes:audit_bytes in
+            Event_queue.schedule queue ~delay:audit_delay (fun () ->
+                let t0 = Sys.time () in
+                let storage_report =
+                  Seccloud.Agency.audit_storage da cloud
+                    ~owner:(Seccloud.User.id user) ~file
+                    ~samples:config.samples_per_audit
+                in
+                let verdict =
+                  match responses with
+                  | None ->
+                    {
+                      Sc_audit.Protocol.valid = false;
+                      failures = [ Sc_audit.Protocol.Warrant_invalid ];
+                    }
+                  | Some rs ->
+                    Sc_audit.Protocol.verify pub
+                      ~verifier_key:(Seccloud.System.da_key system) ~role:`Da
+                      ~owner:(Seccloud.User.id user) commitment challenge rs
+                in
+                let recompute_seconds = Sys.time () -. t0 in
+                let server_cheats =
+                  Adversary.corruption_of adversary (Seccloud.Cloud.id cloud)
+                  <> None
+                in
+                let outcome =
+                  {
+                    epoch = epoch_idx;
+                    server = Seccloud.Cloud.id cloud;
+                    user = Seccloud.User.id user;
+                    server_cheats;
+                    storage_ok = storage_report.Seccloud.Agency.intact;
+                    computation_ok = verdict.Sc_audit.Protocol.valid;
+                    samples = config.samples_per_audit;
+                    bytes = audit_bytes;
+                    recompute_seconds;
+                  }
+                in
+                outcomes := outcome :: !outcomes;
+                let caught =
+                  not (outcome.storage_ok && outcome.computation_ok)
+                in
+                records :=
+                  {
+                    Optimal.samples = config.samples_per_audit;
+                    bytes_transferred = float_of_int audit_bytes;
+                    recompute_seconds;
+                    undetected_cheat_damage =
+                      (if server_cheats && not caught then
+                         Some config.cheat_damage
+                       else None);
+                  }
+                  :: !records)))
+      users
+  in
+  for e = 1 to config.epochs do
+    Event_queue.schedule_at queue ~time:(float_of_int e *. 10_000.0) (fun () ->
+        run_epoch e)
+  done;
+  Event_queue.run queue;
+  let outcomes = List.rev !outcomes in
+  let tally f = List.length (List.filter f outcomes) in
+  let caught o = not (o.storage_ok && o.computation_ok) in
+  {
+    outcomes;
+    sim_time = Event_queue.now queue;
+    total_bytes = Network.total_bytes net;
+    detected = tally (fun o -> o.server_cheats && caught o);
+    undetected = tally (fun o -> o.server_cheats && not (caught o));
+    false_alarms = tally (fun o -> (not o.server_cheats) && caught o);
+    honest_passed = tally (fun o -> (not o.server_cheats) && not (caught o));
+    records = List.rev !records;
+  }
+
+let detection_rate stats =
+  let total = stats.detected + stats.undetected in
+  if total = 0 then 1.0 else float_of_int stats.detected /. float_of_int total
+
+let learned_costs ?(a3 = 1.0) stats = Optimal.learn_costs ~a3 stats.records

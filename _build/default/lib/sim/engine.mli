@@ -1,0 +1,58 @@
+(** The end-to-end cloud simulation: n servers under a mobile
+    Byzantine adversary, users storing data and outsourcing
+    computation, the DA auditing every execution — all driven through
+    a discrete-event clock with a network cost model.
+
+    Each epoch the adversary corrupts a fresh subset of at most b
+    servers (§III-B); every audit outcome is compared against ground
+    truth, giving detection statistics and the audit-cost history that
+    feeds Theorem 3's "history learning". *)
+
+type config = {
+  seed : string;
+  params : Sc_pairing.Params.t lazy_t;
+  n_servers : int;
+  byzantine_bound : int;
+  n_users : int;
+  blocks_per_file : int;
+  ints_per_block : int;
+  tasks_per_service : int;
+  samples_per_audit : int;
+  epochs : int;
+  network : Network.config;
+  cheat_damage : float; (* damage of an undetected cheating epoch *)
+}
+
+val default_config : config
+(** Toy parameters, 4 servers / b = 1, 2 users, 5 epochs. *)
+
+type audit_outcome = {
+  epoch : int;
+  server : string;
+  user : string;
+  server_cheats : bool; (* ground truth *)
+  storage_ok : bool;
+  computation_ok : bool;
+  samples : int;
+  bytes : int;
+  recompute_seconds : float;
+}
+
+type stats = {
+  outcomes : audit_outcome list;
+  sim_time : float; (* virtual seconds on the event clock *)
+  total_bytes : int;
+  detected : int; (* cheating epochs caught *)
+  undetected : int; (* cheating epochs missed *)
+  false_alarms : int; (* honest servers flagged — must be 0 *)
+  honest_passed : int;
+  records : Sc_audit.Optimal.audit_record list;
+}
+
+val run : config -> stats
+
+val detection_rate : stats -> float
+(** detected / (detected + undetected); 1.0 when nothing cheated. *)
+
+val learned_costs : ?a3:float -> stats -> Sc_audit.Optimal.costs
+(** Theorem 3 history learning over the run's audit records. *)

@@ -1,0 +1,91 @@
+(* Binary min-heap on (time, seq) keys; seq breaks ties FIFO. *)
+
+type entry = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.0; seq = 0; action = ignore }
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0.0; next_seq = 0 }
+let now t = t.clock
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end
+
+let push t entry =
+  grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if lt t.heap.(i) t.heap.(parent) then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(parent);
+        t.heap.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest <> i then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(!smallest);
+        t.heap.(!smallest) <- tmp;
+        down !smallest
+      end
+    in
+    down 0;
+    Some top
+  end
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Event_queue.schedule_at: time in the past";
+  push t { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Event_queue.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let run ?(until = infinity) t =
+  let rec loop () =
+    match pop t with
+    | None -> ()
+    | Some entry ->
+      if entry.time > until then begin
+        (* Put it back; the caller may resume later. *)
+        push t entry
+      end
+      else begin
+        t.clock <- entry.time;
+        entry.action ();
+        loop ()
+      end
+  in
+  loop ()
+
+let pending t = t.size

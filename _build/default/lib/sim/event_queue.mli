@@ -1,0 +1,20 @@
+(** A discrete-event scheduler: a virtual clock and a time-ordered
+    queue of thunks.  Events scheduled at equal times fire in
+    insertion order. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument on negative delays. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** @raise Invalid_argument for times in the past. *)
+
+val run : ?until:float -> t -> unit
+(** Drains the queue (or stops once the clock would pass [until],
+    leaving later events pending). *)
+
+val pending : t -> int

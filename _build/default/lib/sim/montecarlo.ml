@@ -1,0 +1,55 @@
+type result = { trials : int; survived : int; rate : float; predicted : float }
+
+let bernoulli drbg p = Sc_hash.Drbg.float drbg < p
+
+(* One sampled sub-task survives scrutiny under the FCS game. *)
+let fcs_sample_survives drbg ~csc ~range =
+  if bernoulli drbg csc then true
+  else if range = infinity then false
+  else bernoulli drbg (1.0 /. range)
+
+let pcs_sample_survives drbg ~ssc ~sig_forge =
+  if bernoulli drbg ssc then true else bernoulli drbg sig_forge
+
+let run_trials drbg ~t ~trials ~predicted sample_survives =
+  let survived = ref 0 in
+  for _ = 1 to trials do
+    let rec all_pass k = k = 0 || (sample_survives drbg && all_pass (k - 1)) in
+    if all_pass t then incr survived
+  done;
+  {
+    trials;
+    survived = !survived;
+    rate = float_of_int !survived /. float_of_int trials;
+    predicted;
+  }
+
+let fcs_experiment ~drbg ~csc ~range ~t ~trials =
+  run_trials drbg ~t ~trials
+    ~predicted:(Sc_audit.Sampling.pr_fcs ~csc ~range ~t)
+    (fun d -> fcs_sample_survives d ~csc ~range)
+
+let pcs_experiment ~drbg ~ssc ~sig_forge ~t ~trials =
+  run_trials drbg ~t ~trials
+    ~predicted:(Sc_audit.Sampling.pr_pcs ~ssc ~sig_forge ~t)
+    (fun d -> pcs_sample_survives d ~ssc ~sig_forge)
+
+let combined_experiment ~drbg ~csc ~ssc ~range ~sig_forge ~t ~trials =
+  let predicted = Sc_audit.Sampling.pr_cheat ~csc ~ssc ~range ~sig_forge ~t in
+  let survived = ref 0 in
+  for _ = 1 to trials do
+    (* The adversary mounts one of the two attacks per audit; eq. (14)
+       upper-bounds the union, so we play both and count survival of
+       either. *)
+    let rec fcs_pass k = k = 0 || (fcs_sample_survives drbg ~csc ~range && fcs_pass (k - 1)) in
+    let rec pcs_pass k =
+      k = 0 || (pcs_sample_survives drbg ~ssc ~sig_forge && pcs_pass (k - 1))
+    in
+    if fcs_pass t || pcs_pass t then incr survived
+  done;
+  {
+    trials;
+    survived = !survived;
+    rate = float_of_int !survived /. float_of_int trials;
+    predicted;
+  }

@@ -1,0 +1,1 @@
+lib/storage/block.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/storage/dynamic.ml: Array List Printf Sc_ec Sc_hash Sc_ibc Sc_merkle Sc_pairing String

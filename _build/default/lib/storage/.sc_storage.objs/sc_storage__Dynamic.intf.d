@@ -1,0 +1,1 @@
+lib/storage/dynamic.mli: Sc_ec Sc_hash Sc_ibc Sc_merkle Sc_pairing

@@ -1,0 +1,1 @@
+lib/storage/server.ml: Array Block Char Hashtbl Option Sc_hash Signer String

@@ -1,0 +1,1 @@
+lib/storage/server.mli: Block Sc_hash Signer

@@ -1,0 +1,1 @@
+lib/storage/signer.ml: Array Block List Sc_ec Sc_ibc Sc_pairing

@@ -1,0 +1,1 @@
+lib/storage/signer.mli: Block Sc_ec Sc_ibc Sc_pairing

@@ -1,0 +1,21 @@
+type t = { file : string; index : int; data : string }
+
+let signing_message b = Printf.sprintf "block|%s|%d|%s" b.file b.index b.data
+
+let encode_ints ints = String.concat "," (List.map string_of_int ints)
+
+let decode_ints s =
+  if String.length s = 0 then Some []
+  else begin
+    let parts = String.split_on_char ',' s in
+    let rec convert acc = function
+      | [] -> Some (List.rev acc)
+      | part :: rest ->
+        (match int_of_string_opt part with
+        | Some v -> convert (v :: acc) rest
+        | None -> None)
+    in
+    convert [] parts
+  end
+
+let of_ints ~file ~index ints = { file; index; data = encode_ints ints }

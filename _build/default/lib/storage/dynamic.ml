@@ -1,0 +1,258 @@
+module Setup = Sc_ibc.Setup
+module Ibs = Sc_ibc.Ibs
+module Dvs = Sc_ibc.Dvs
+module Merkle = Sc_merkle.Tree
+
+let tombstone = "\x00__tombstone__"
+
+let signing_message ~file ~index ~version ~payload =
+  Printf.sprintf "dblock|%s|%d|%d|%s" file index version payload
+
+(* Leaf contents bind version, index and payload, so stale replays and
+   cross-position swaps both change the leaf hash. *)
+let leaf_content ~index ~version ~payload =
+  Printf.sprintf "%d|%d|%s" version index payload
+
+type entry = {
+  payload : string;
+  version : int;
+  u : Sc_ec.Curve.point;
+  sigma_cs : Sc_pairing.Tate.gt;
+  sigma_da : Sc_pairing.Tate.gt;
+}
+
+type server = {
+  s_file : string;
+  mutable s_entries : entry array;
+  mutable s_tree : Merkle.t;
+}
+
+type client = {
+  pub : Setup.public;
+  key : Setup.identity_key;
+  cs_id : string;
+  da_id : string;
+  c_file : string;
+  mutable c_root : string;
+  mutable c_count : int;
+  mutable c_bytes : int -> string;
+}
+
+type read_proof = {
+  payload : string;
+  version : int;
+  u : Sc_ec.Curve.point;
+  sigma_cs : Sc_pairing.Tate.gt;
+  sigma_da : Sc_pairing.Tate.gt;
+  proof : Merkle.proof;
+}
+
+let sign_entry client ~index ~version ~payload =
+  let msg = signing_message ~file:client.c_file ~index ~version ~payload in
+  let raw = Ibs.sign client.pub client.key ~bytes_source:client.c_bytes msg in
+  let cs = Dvs.designate client.pub raw ~verifier:client.cs_id in
+  let da = Dvs.designate client.pub raw ~verifier:client.da_id in
+  {
+    payload;
+    version;
+    u = raw.Ibs.u;
+    sigma_cs = cs.Dvs.sigma;
+    sigma_da = da.Dvs.sigma;
+  }
+
+let rebuild_tree server =
+  let leaves =
+    Array.to_list
+      (Array.mapi
+         (fun index (e : entry) ->
+           leaf_content ~index ~version:e.version ~payload:e.payload)
+         server.s_entries)
+  in
+  server.s_tree <- Merkle.build leaves
+
+let init pub key ~bytes_source ~cs_id ~da_id ~file payloads =
+  if payloads = [] then invalid_arg "Dynamic.init: empty payload list";
+  let client =
+    {
+      pub;
+      key;
+      cs_id;
+      da_id;
+      c_file = file;
+      c_root = "";
+      c_count = 0;
+      c_bytes = bytes_source;
+    }
+  in
+  let entries =
+    Array.of_list
+      (List.mapi
+         (fun index payload -> sign_entry client ~index ~version:0 ~payload)
+         payloads)
+  in
+  let server = { s_file = file; s_entries = entries; s_tree = Merkle.build [ "x" ] } in
+  rebuild_tree server;
+  client.c_root <- Merkle.root server.s_tree;
+  client.c_count <- Array.length entries;
+  client, server
+
+let root client = client.c_root
+let count client = client.c_count
+let server_root server = Merkle.root server.s_tree
+
+let read server index =
+  if index < 0 || index >= Array.length server.s_entries then None
+  else begin
+    let (e : entry) = server.s_entries.(index) in
+    Some
+      {
+        payload = e.payload;
+        version = e.version;
+        u = e.u;
+        sigma_cs = e.sigma_cs;
+        sigma_da = e.sigma_da;
+        proof = Merkle.proof server.s_tree index;
+      }
+  end
+
+let verify_read client ~index (rp : read_proof) =
+  rp.proof.Merkle.leaf_index = index
+  && Merkle.verify_proof ~root:client.c_root
+       ~leaf_payload:
+         (leaf_content ~index ~version:rp.version ~payload:rp.payload)
+       rp.proof
+
+let update client server ~index payload =
+  match read server index with
+  | None -> false
+  | Some pre ->
+    if not (verify_read client ~index pre) then false
+    else begin
+      let version = pre.version + 1 in
+      let entry = sign_entry client ~index ~version ~payload in
+      (* New root from the *old* authentication path and the *new*
+         leaf: O(log n) client-side work, no trust in the server. *)
+      let new_leaf =
+        Merkle.leaf_hash (leaf_content ~index ~version ~payload)
+      in
+      let new_root = Merkle.root_from_proof ~leaf_hash:new_leaf pre.proof in
+      server.s_entries.(index) <- entry;
+      rebuild_tree server;
+      client.c_root <- new_root;
+      (* Server and client must now agree; a lying server is caught on
+         the next read. *)
+      true
+    end
+
+let leaf_hashes server =
+  Array.to_list
+    (Array.mapi
+       (fun index (e : entry) ->
+         Merkle.leaf_hash
+           (leaf_content ~index ~version:e.version ~payload:e.payload))
+       server.s_entries)
+
+let append client server payload =
+  (* Cross-check the server's claimed leaf set against the held root
+     before extending it. *)
+  let hashes = leaf_hashes server in
+  if List.length hashes <> client.c_count then false
+  else if
+    not
+      (String.equal
+         (Merkle.root (Merkle.build_of_hashes hashes))
+         client.c_root)
+  then false
+  else begin
+    let index = client.c_count in
+    let entry = sign_entry client ~index ~version:0 ~payload in
+    server.s_entries <- Array.append server.s_entries [| entry |];
+    rebuild_tree server;
+    let new_hashes =
+      hashes @ [ Merkle.leaf_hash (leaf_content ~index ~version:0 ~payload) ]
+    in
+    client.c_root <- Merkle.root (Merkle.build_of_hashes new_hashes);
+    client.c_count <- index + 1;
+    true
+  end
+
+let delete client server ~index = update client server ~index tombstone
+let is_deleted (rp : read_proof) = String.equal rp.payload tombstone
+
+type audit_report = {
+  sampled : int;
+  valid : int;
+  invalid_indices : int list;
+  intact : bool;
+}
+
+let root_statement_msg ~file ~count ~root =
+  Printf.sprintf "droot|%s|%d|%s" file count (Sc_hash.Sha256.hex_of_digest root)
+
+let publish_root client ~bytes_source =
+  let msg =
+    root_statement_msg ~file:client.c_file ~count:client.c_count
+      ~root:client.c_root
+  in
+  msg, Ibs.sign client.pub client.key ~bytes_source msg
+
+let parse_root_statement msg =
+  match String.split_on_char '|' msg with
+  | [ "droot"; file; count; root_hex ] ->
+    (match int_of_string_opt count with
+    | Some count when count > 0 -> Some (file, count, root_hex)
+    | Some _ | None -> None)
+  | _ -> None
+
+let audit pub ~verifier_key ~owner ~file ~root_statement server ~drbg ~samples =
+  let failure = { sampled = 0; valid = 0; invalid_indices = []; intact = false } in
+  let stmt, stmt_sig = root_statement in
+  if not (Ibs.verify pub ~signer:owner ~msg:stmt stmt_sig) then failure
+  else
+    match parse_root_statement stmt with
+    | None -> failure
+    | Some (stated_file, count, root_hex) ->
+      if not (String.equal stated_file file) then failure
+      else begin
+        let samples = min samples count in
+        let idx = Array.init count (fun i -> i) in
+        for i = 0 to samples - 1 do
+          let j = i + Sc_hash.Drbg.uniform_int drbg (count - i) in
+          let tmp = idx.(i) in
+          idx.(i) <- idx.(j);
+          idx.(j) <- tmp
+        done;
+        let check index =
+          match read server index with
+          | None -> false
+          | Some rp ->
+            let leaf =
+              leaf_content ~index ~version:rp.version ~payload:rp.payload
+            in
+            let path_ok =
+              rp.proof.Merkle.leaf_index = index
+              && String.equal
+                   (Sc_hash.Sha256.hex_of_digest
+                      (Merkle.root_from_proof
+                         ~leaf_hash:(Merkle.leaf_hash leaf) rp.proof))
+                   root_hex
+            in
+            let msg =
+              signing_message ~file ~index ~version:rp.version
+                ~payload:rp.payload
+            in
+            path_ok
+            && Dvs.verify pub ~verifier_key ~signer:owner ~msg
+                 { Dvs.u = rp.u; sigma = rp.sigma_da }
+        in
+        let results = List.init samples (fun i -> idx.(i), check idx.(i)) in
+        let invalid =
+          List.filter_map (fun (i, ok) -> if ok then None else Some i) results
+        in
+        {
+          sampled = samples;
+          valid = samples - List.length invalid;
+          invalid_indices = invalid;
+          intact = invalid = [];
+        }
+      end

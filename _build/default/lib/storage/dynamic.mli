@@ -1,0 +1,107 @@
+(** Dynamic data storage: authenticated update / append / delete.
+
+    The paper's Protocol II is static (sign once, store, audit).  The
+    related work it builds on (Wang et al. [5], Erway et al. [15])
+    adds *dynamics* via Merkle hash trees; this module provides that
+    extension on top of {!Signer}/{!Server}:
+
+    - the client (data owner) keeps only the Merkle root and block
+      count — O(1) state;
+    - every block is signed over (file, index, version, payload), so a
+      server replaying a stale version fails the tree check and a
+      server moving data across positions fails the signature check;
+    - [update]/[delete] verify the server's pre-state proof and fold
+      the *new* leaf through the same authentication path, giving the
+      client the new root in O(log n) hashing without trusting the
+      server;
+    - [append] re-derives the root from the full leaf-hash list (O(n)
+      hashes, O(1) client persistent state), verifying consistency
+      with the held root first;
+    - the DA audits against a client-signed root statement, checking
+      the designated signature, the version and the Merkle path of
+      each sampled block. *)
+
+type client
+(** Owner-side state: root, count, keys.  O(1) in the file size. *)
+
+type server
+(** Cloud-side state: versioned signed blocks plus the tree. *)
+
+val signing_message :
+  file:string -> index:int -> version:int -> payload:string -> string
+(** The versioned message covered by each block signature. *)
+
+val init :
+  Sc_ibc.Setup.public ->
+  Sc_ibc.Setup.identity_key ->
+  bytes_source:(int -> string) ->
+  cs_id:string ->
+  da_id:string ->
+  file:string ->
+  string list ->
+  client * server
+(** Sign every payload at version 0, build the tree on both sides.
+    @raise Invalid_argument on an empty payload list. *)
+
+val root : client -> string
+val count : client -> int
+val server_root : server -> string
+
+type read_proof = {
+  payload : string;
+  version : int;
+  u : Sc_ec.Curve.point;
+  sigma_cs : Sc_pairing.Tate.gt;
+  sigma_da : Sc_pairing.Tate.gt;
+  proof : Sc_merkle.Tree.proof;
+}
+
+val read : server -> int -> read_proof option
+(** Server answers a read with the block, its signature material and
+    its authentication path. *)
+
+val verify_read : client -> index:int -> read_proof -> bool
+(** Owner-side check of a read against the held root (Merkle path +
+    version binding; no pairing needed). *)
+
+val update : client -> server -> index:int -> string -> bool
+(** Replace block [index] with a new payload (version bumped).  The
+    client verifies the server's pre-state, signs the new version,
+    computes the new root from the authentication path alone, and
+    both sides move to the new state.  Returns false (and changes
+    nothing client-side) if the server's proof does not check out. *)
+
+val append : client -> server -> string -> bool
+(** Add a block at index [count].  The client cross-checks the
+    server-supplied leaf hashes against its root before accepting. *)
+
+val delete : client -> server -> index:int -> bool
+(** Tombstone a block (authenticated logical delete). *)
+
+val is_deleted : read_proof -> bool
+
+type audit_report = {
+  sampled : int;
+  valid : int;
+  invalid_indices : int list;
+  intact : bool;
+}
+
+val publish_root :
+  client -> bytes_source:(int -> string) -> string * Sc_ibc.Ibs.t
+(** A root statement ["droot|file|count|root"] signed by the owner,
+    handed to the DA so audits do not need the owner online. *)
+
+val audit :
+  Sc_ibc.Setup.public ->
+  verifier_key:Sc_ibc.Setup.identity_key ->
+  owner:string ->
+  file:string ->
+  root_statement:string * Sc_ibc.Ibs.t ->
+  server ->
+  drbg:Sc_hash.Drbg.t ->
+  samples:int ->
+  audit_report
+(** DA-side audit: verifies the owner's root statement, then for each
+    sampled index checks the designated signature (version-bound) and
+    the Merkle path against the stated root. *)

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Float Lazy List Option Sc_audit Sc_compute Sc_hash Sc_ibc Sc_storage Seccloud Util

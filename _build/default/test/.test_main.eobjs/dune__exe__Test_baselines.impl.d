@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Lazy List Printf Sc_bignum Sc_bls Sc_ec Sc_ecdsa Sc_pairing Sc_pdp Sc_rsa Util

@@ -1,0 +1,1 @@
+test/test_compute.ml: Alcotest Array Executor Float Lazy List Printf Sc_compute Sc_hash Sc_ibc Sc_merkle Sc_storage Seccloud String Task Util

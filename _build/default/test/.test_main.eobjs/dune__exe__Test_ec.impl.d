@@ -1,0 +1,1 @@
+test/test_ec.ml: Alcotest Curve Fp Lazy List Nat Printf QCheck2 Sc_bignum Sc_ec Sc_field Sc_pairing String Util

@@ -1,0 +1,1 @@
+test/test_erasure.ml: Alcotest Array Char List Printf QCheck2 Sc_erasure Sc_hash Sc_pdp String Util

@@ -1,0 +1,1 @@
+test/test_field.ml: Alcotest Fp Fp2 List Nat Printf QCheck2 Sc_bignum Sc_field Util

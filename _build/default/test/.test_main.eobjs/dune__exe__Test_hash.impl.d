@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Array Char Fun List Printf Sc_hash String Util

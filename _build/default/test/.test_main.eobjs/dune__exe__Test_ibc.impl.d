@@ -1,0 +1,1 @@
+test/test_ibc.ml: Agg Alcotest Char Dvs Ibe Ibs Lazy List Printf QCheck2 Sc_ec Sc_ibc Sc_pairing Setup String Util Warrant

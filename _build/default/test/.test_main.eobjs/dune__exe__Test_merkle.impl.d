@@ -1,0 +1,1 @@
+test/test_merkle.ml: Alcotest Fun List Printf QCheck2 Sc_merkle String Util

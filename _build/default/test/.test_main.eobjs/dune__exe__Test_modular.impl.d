@@ -1,0 +1,1 @@
+test/test_modular.ml: Alcotest List Modular Montgomery Nat Printf QCheck2 Sc_bignum Signed Util

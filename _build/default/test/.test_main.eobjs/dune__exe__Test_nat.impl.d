@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest List Nat Printf QCheck2 Sc_bignum String Util

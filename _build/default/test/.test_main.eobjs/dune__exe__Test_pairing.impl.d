@@ -1,0 +1,1 @@
+test/test_pairing.ml: Alcotest Curve Lazy Nat QCheck2 Sc_bignum Sc_ec Sc_field Sc_hash Sc_pairing Util

@@ -1,0 +1,1 @@
+test/test_prime.ml: Alcotest Array List Nat Prime Sc_bignum Util

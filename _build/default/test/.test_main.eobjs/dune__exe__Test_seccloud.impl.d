@@ -1,0 +1,1 @@
+test/test_seccloud.ml: Alcotest Array Fun List Printf Sc_audit Sc_compute Sc_ec Sc_hash Sc_ibc Sc_pairing Sc_storage Seccloud Util

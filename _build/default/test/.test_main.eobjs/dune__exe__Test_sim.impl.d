@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Fun Hashtbl List Printf Sc_audit Sc_hash Sc_sim Util

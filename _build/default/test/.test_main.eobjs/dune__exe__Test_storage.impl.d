@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Block Dynamic Float Lazy List Option Printf Sc_hash Sc_ibc Sc_pairing Sc_storage Seccloud Server Signer String Util

@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Buffer Char Float Lazy List Option Printf Sc_audit Sc_compute Sc_hash Sc_ibc Sc_pairing Sc_storage Seccloud String Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest QCheck2 QCheck_alcotest Sc_hash Sc_pairing Seccloud

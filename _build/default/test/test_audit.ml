@@ -1,0 +1,493 @@
+module Sampling = Sc_audit.Sampling
+module Optimal = Sc_audit.Optimal
+module Protocol = Sc_audit.Protocol
+module Batch = Sc_audit.Batch
+module Executor = Sc_compute.Executor
+module Task = Sc_compute.Task
+module Server = Sc_storage.Server
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let sampling_tests =
+  let open Util in
+  [
+    case "pr_fcs closed form (eq. 10)" (fun () ->
+        check Alcotest.bool "t=0 gives 1" true
+          (close 1.0 (Sampling.pr_fcs ~csc:0.3 ~range:2.0 ~t:0));
+        check Alcotest.bool "csc=1 never caught" true
+          (close 1.0 (Sampling.pr_fcs ~csc:1.0 ~range:2.0 ~t:100));
+        check Alcotest.bool "csc=0, R=2, t=3 -> 1/8" true
+          (close 0.125 (Sampling.pr_fcs ~csc:0.0 ~range:2.0 ~t:3));
+        check Alcotest.bool "infinite range kills guessing" true
+          (close 0.0 (Sampling.pr_fcs ~csc:0.0 ~range:infinity ~t:1)));
+    case "pr_pcs closed form (eq. 12)" (fun () ->
+        check Alcotest.bool "ssc only" true
+          (close 0.25 (Sampling.pr_pcs ~ssc:0.5 ~sig_forge:0.0 ~t:2));
+        check Alcotest.bool "forgery floor" true
+          (close 1e-9 (Sampling.pr_pcs ~ssc:0.0 ~sig_forge:1e-9 ~t:1)));
+    case "invalid arguments rejected" (fun () ->
+        Alcotest.check_raises "csc > 1"
+          (Invalid_argument "Sampling: csc must lie in [0,1]") (fun () ->
+            ignore (Sampling.pr_fcs ~csc:1.5 ~range:2.0 ~t:1));
+        Alcotest.check_raises "range < 1"
+          (Invalid_argument "Sampling.pr_fcs: range < 1") (fun () ->
+            ignore (Sampling.pr_fcs ~csc:0.5 ~range:0.5 ~t:1)));
+    case "monotonicity in t" (fun () ->
+        let p t = Sampling.pr_cheat ~csc:0.6 ~ssc:0.4 ~range:4.0 ~sig_forge:1e-9 ~t in
+        for t = 1 to 50 do
+          if p t > p (t - 1) +. 1e-12 then Alcotest.fail "not decreasing"
+        done);
+    case "paper spot checks: t=33 and t=15" (fun () ->
+        check Alcotest.(option int) "R=2" (Some 33)
+          (Sampling.required_samples ~csc:0.5 ~ssc:0.5 ~range:2.0 ~sig_forge:0.0
+             ~eps:1e-4 ());
+        check Alcotest.(option int) "R=inf" (Some 15)
+          (Sampling.required_samples ~csc:0.5 ~ssc:0.5 ~range:infinity
+             ~sig_forge:0.0 ~eps:1e-4 ()));
+    case "required_samples is the threshold" (fun () ->
+        match
+          Sampling.required_samples ~csc:0.7 ~ssc:0.3 ~range:8.0 ~sig_forge:1e-9
+            ~eps:1e-5 ()
+        with
+        | None -> Alcotest.fail "expected finite"
+        | Some t ->
+          let p k =
+            Sampling.pr_cheat ~csc:0.7 ~ssc:0.3 ~range:8.0 ~sig_forge:1e-9 ~t:k
+          in
+          check Alcotest.bool "t works" true (p t <= 1e-5);
+          check Alcotest.bool "t-1 fails" true (p (t - 1) > 1e-5));
+    case "undetectable cheater gives None" (fun () ->
+        check Alcotest.(option int) "csc=ssc=1" None
+          (Sampling.required_samples ~csc:1.0 ~ssc:1.0 ~range:2.0 ~sig_forge:0.0
+             ~eps:1e-4 ()));
+    case "figure4 grid shape and monotonicity" (fun () ->
+        let grid = Sampling.figure4_grid ~eps:1e-4 ~range:2.0 () in
+        check Alcotest.int "100 points" 100 (List.length grid);
+        (* t grows with CSC along a fixed-SSC row. *)
+        let row =
+          List.filter (fun g -> close g.Sampling.ssc 0.0) grid
+          |> List.sort (fun a b -> compare a.Sampling.csc b.Sampling.csc)
+        in
+        let ts = List.filter_map (fun g -> g.Sampling.t) row in
+        check Alcotest.bool "monotone" true
+          (List.sort compare ts = ts));
+    case "detection_probability complements pr_cheat" (fun () ->
+        let d =
+          Sampling.detection_probability ~csc:0.5 ~ssc:0.5 ~range:2.0
+            ~sig_forge:0.0 ~t:10
+        in
+        let p = Sampling.pr_cheat ~csc:0.5 ~ssc:0.5 ~range:2.0 ~sig_forge:0.0 ~t:10 in
+        check Alcotest.bool "complement" true (close 1.0 (d +. p)));
+  ]
+
+let optimal_tests =
+  let open Util in
+  let costs =
+    { Optimal.a1 = 1.0; a2 = 1.0; a3 = 1.0; c_trans = 1.0; c_comp = 5.0; c_cheat = 1e4 }
+  in
+  [
+    case "closed form matches exhaustive search" (fun () ->
+        List.iter
+          (fun q ->
+            let closed = Optimal.optimal_t costs ~cheat_prob:q in
+            let brute = Optimal.argmin_t costs ~cheat_prob:q in
+            (* Ceiling rounding can land one off the true integer
+               argmin; costs must still agree at the optimum. *)
+            let c_closed = Optimal.total_cost costs ~cheat_prob:q ~t:closed in
+            let c_brute = Optimal.total_cost costs ~cheat_prob:q ~t:brute in
+            if Float.abs (c_closed -. c_brute) > 1.0 +. (0.01 *. c_brute)
+            then Alcotest.failf "q=%f closed=%d brute=%d" q closed brute)
+          [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]);
+    case "total cost shape: decreasing then increasing" (fun () ->
+        let q = 0.5 in
+        let t_star = Optimal.argmin_t costs ~cheat_prob:q in
+        check Alcotest.bool "interior optimum" true (t_star > 0 && t_star < 100);
+        check Alcotest.bool "left higher" true
+          (Optimal.total_cost costs ~cheat_prob:q ~t:0
+           > Optimal.total_cost costs ~cheat_prob:q ~t:t_star);
+        check Alcotest.bool "right higher" true
+          (Optimal.total_cost costs ~cheat_prob:q ~t:(t_star + 50)
+           > Optimal.total_cost costs ~cheat_prob:q ~t:t_star));
+    case "higher cheat damage raises t*" (fun () ->
+        let t1 = Optimal.optimal_t costs ~cheat_prob:0.5 in
+        let t2 =
+          Optimal.optimal_t { costs with Optimal.c_cheat = 1e8 } ~cheat_prob:0.5
+        in
+        check Alcotest.bool "more damage, more samples" true (t2 > t1));
+    case "higher transmission cost lowers t*" (fun () ->
+        let t1 = Optimal.optimal_t costs ~cheat_prob:0.5 in
+        let t2 =
+          Optimal.optimal_t { costs with Optimal.c_trans = 100.0 } ~cheat_prob:0.5
+        in
+        check Alcotest.bool "fewer samples" true (t2 < t1));
+    case "invalid cheat_prob rejected" (fun () ->
+        Alcotest.check_raises "q=1"
+          (Invalid_argument "Optimal.optimal_t: cheat_prob must be in (0,1)")
+          (fun () -> ignore (Optimal.optimal_t costs ~cheat_prob:1.0)));
+    case "learn_costs averages history" (fun () ->
+        let records =
+          [
+            { Optimal.samples = 10; bytes_transferred = 1000.0;
+              recompute_seconds = 0.5; undetected_cheat_damage = None };
+            { Optimal.samples = 10; bytes_transferred = 3000.0;
+              recompute_seconds = 1.5; undetected_cheat_damage = Some 500.0 };
+          ]
+        in
+        let k = Optimal.learn_costs records in
+        check Alcotest.bool "c_trans" true (close k.Optimal.c_trans 200.0);
+        check Alcotest.bool "c_comp" true (close k.Optimal.c_comp 1.0);
+        check Alcotest.bool "c_cheat" true (close k.Optimal.c_cheat 500.0));
+    case "learn_costs rejects empty history" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Optimal.learn_costs: empty history") (fun () ->
+            ignore (Optimal.learn_costs [])));
+  ]
+
+(* --- Algorithm 1 end-to-end ----------------------------------------- *)
+
+let system = Lazy.force Util.shared_system
+let pub = Seccloud.System.public system
+let da_key = Seccloud.System.da_key system
+let cs_key = Seccloud.System.cs_key system "cs-1"
+let alice = Seccloud.System.register_user system "alice"
+let bs = Util.fresh_bs "audit-tests"
+
+let setup_execution ?(behaviour = Executor.Honest) ?(n_tasks = 16) () =
+  let payloads =
+    List.init 20 (fun i -> Sc_storage.Block.encode_ints [ i; i * 2; i * 3 ])
+  in
+  let server = Server.create Server.Honest ~drbg:(Sc_hash.Drbg.create ~seed:"as") in
+  Server.store server
+    (Sc_storage.Signer.sign_file pub alice ~bytes_source:bs ~cs_id:"cs-1"
+       ~da_id:"da" ~file:"data" payloads);
+  let drbg = Sc_hash.Drbg.create ~seed:"audit-exec" in
+  let service =
+    List.init n_tasks (fun i -> { Task.func = Task.Sum; position = i mod 20 })
+  in
+  Executor.run pub ~cs_key ~server ~behaviour ~drbg ~owner:"alice" ~file:"data"
+    service
+
+let warrant () =
+  Sc_ibc.Warrant.issue pub alice ~bytes_source:bs ~delegatee:"da" ~now:0.0
+    ~lifetime:1e9 ~scope:"tests"
+
+let audit ?(samples = 8) execution =
+  let commitment = Protocol.commitment_of_execution execution in
+  let drbg = Sc_hash.Drbg.create ~seed:"audit-chal" in
+  let challenge =
+    Protocol.make_challenge ~drbg ~n_tasks:commitment.Protocol.n_tasks ~samples
+      ~warrant:(warrant ())
+  in
+  match Protocol.respond pub ~now:1.0 execution challenge with
+  | None -> { Protocol.valid = false; failures = [ Protocol.Warrant_invalid ] }
+  | Some responses ->
+    Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice" commitment
+      challenge responses
+
+let protocol_tests =
+  let open Util in
+  [
+    case "honest execution passes" (fun () ->
+        let v = audit (setup_execution ()) in
+        check Alcotest.bool "valid" true v.Protocol.valid;
+        check Alcotest.int "no failures" 0 (List.length v.Protocol.failures));
+    case "guessing cheat fails with Computing_wrong" (fun () ->
+        let v =
+          audit ~samples:16
+            (setup_execution ~behaviour:(Executor.Guess_fraction (1.0, 1 lsl 30)) ())
+        in
+        check Alcotest.bool "invalid" false v.Protocol.valid;
+        check Alcotest.bool "computing flagged" true
+          (List.exists
+             (function Protocol.Computing_wrong _ -> true | _ -> false)
+             v.Protocol.failures));
+    case "wrong-position cheat fails with Signature_wrong" (fun () ->
+        let v =
+          audit ~samples:16
+            (setup_execution ~behaviour:(Executor.Wrong_position_fraction 1.0) ())
+        in
+        check Alcotest.bool "invalid" false v.Protocol.valid;
+        check Alcotest.bool "signature flagged" true
+          (List.exists
+             (function Protocol.Signature_wrong _ -> true | _ -> false)
+             v.Protocol.failures));
+    case "commit-garbage cheat fails with Root_wrong" (fun () ->
+        let v =
+          audit ~samples:16
+            (setup_execution ~behaviour:(Executor.Commit_garbage_fraction 1.0) ())
+        in
+        check Alcotest.bool "invalid" false v.Protocol.valid;
+        check Alcotest.bool "root flagged" true
+          (List.exists
+             (function Protocol.Root_wrong _ -> true | _ -> false)
+             v.Protocol.failures));
+    case "forged root signature detected" (fun () ->
+        let execution = setup_execution () in
+        let commitment = Protocol.commitment_of_execution execution in
+        let forged = { commitment with Protocol.cs_id = "cs-2" } in
+        let drbg = Sc_hash.Drbg.create ~seed:"chal" in
+        let challenge =
+          Protocol.make_challenge ~drbg ~n_tasks:commitment.Protocol.n_tasks
+            ~samples:4 ~warrant:(warrant ())
+        in
+        let responses = Option.get (Protocol.respond pub ~now:1.0 execution challenge) in
+        let v =
+          Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+            forged challenge responses
+        in
+        check Alcotest.bool "invalid" false v.Protocol.valid;
+        check Alcotest.bool "root sig flagged" true
+          (List.mem Protocol.Root_signature_wrong v.Protocol.failures));
+    case "expired warrant refused by server" (fun () ->
+        let execution = setup_execution () in
+        let stale =
+          Sc_ibc.Warrant.issue pub alice ~bytes_source:bs ~delegatee:"da"
+            ~now:0.0 ~lifetime:10.0 ~scope:"old"
+        in
+        let drbg = Sc_hash.Drbg.create ~seed:"chal" in
+        let challenge =
+          Protocol.make_challenge ~drbg ~n_tasks:16 ~samples:4 ~warrant:stale
+        in
+        check Alcotest.bool "refused" true
+          (Protocol.respond pub ~now:100.0 execution challenge = None));
+    case "missing responses reported" (fun () ->
+        let execution = setup_execution () in
+        let commitment = Protocol.commitment_of_execution execution in
+        let drbg = Sc_hash.Drbg.create ~seed:"chal" in
+        let challenge =
+          Protocol.make_challenge ~drbg ~n_tasks:16 ~samples:6 ~warrant:(warrant ())
+        in
+        let responses =
+          match Option.get (Protocol.respond pub ~now:1.0 execution challenge) with
+          | _ :: rest -> rest
+          | [] -> []
+        in
+        let v =
+          Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+            commitment challenge responses
+        in
+        check Alcotest.bool "invalid" false v.Protocol.valid;
+        check Alcotest.bool "missing flagged" true
+          (List.exists
+             (function Protocol.Missing_response _ -> true | _ -> false)
+             v.Protocol.failures));
+    case "challenge samples are distinct and in range" (fun () ->
+        let drbg = Sc_hash.Drbg.create ~seed:"chal-dist" in
+        let c =
+          Protocol.make_challenge ~drbg ~n_tasks:30 ~samples:30 ~warrant:(warrant ())
+        in
+        let sorted = List.sort_uniq compare c.Protocol.sample_indices in
+        check Alcotest.int "30 distinct" 30 (List.length sorted);
+        check Alcotest.bool "in range" true
+          (List.for_all (fun i -> i >= 0 && i < 30) sorted));
+    case "samples clamped to n_tasks" (fun () ->
+        let drbg = Sc_hash.Drbg.create ~seed:"clamp" in
+        let c =
+          Protocol.make_challenge ~drbg ~n_tasks:5 ~samples:50 ~warrant:(warrant ())
+        in
+        check Alcotest.int "clamped" 5 (List.length c.Protocol.sample_indices));
+  ]
+
+let batch_tests =
+  let open Util in
+  let make_job ?(behaviour = Executor.Honest) tag =
+    let execution = setup_execution ~behaviour () in
+    let commitment = Protocol.commitment_of_execution execution in
+    let drbg = Sc_hash.Drbg.create ~seed:("job:" ^ tag) in
+    let challenge =
+      Protocol.make_challenge ~drbg ~n_tasks:commitment.Protocol.n_tasks
+        ~samples:6 ~warrant:(warrant ())
+    in
+    let responses = Option.get (Protocol.respond pub ~now:1.0 execution challenge) in
+    { Batch.owner = "alice"; commitment; challenge; responses }
+  in
+  [
+    case "batched verification accepts honest jobs" (fun () ->
+        let jobs = [ make_job "a"; make_job "b"; make_job "c" ] in
+        let v = Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da jobs in
+        check Alcotest.bool "valid" true v.Protocol.valid);
+    case "batched verification pairing count is constant-ish" (fun () ->
+        (* Pairings: 2 per job for the root signature + 1 aggregate.
+           Independent of the per-job sample count. *)
+        let jobs = [ make_job "p1"; make_job "p2" ] in
+        let _, pairings = Batch.pairings_used pub ~verifier_key:da_key ~role:`Da jobs in
+        check Alcotest.int "2 jobs" 5 pairings);
+    case "batched verification catches a cheating job and names it" (fun () ->
+        let jobs =
+          [
+            make_job "good";
+            make_job ~behaviour:(Executor.Wrong_position_fraction 1.0) "evil";
+          ]
+        in
+        let v = Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da jobs in
+        check Alcotest.bool "invalid" false v.Protocol.valid;
+        check Alcotest.bool "blame assigned" true
+          (List.exists
+             (function Protocol.Signature_wrong _ -> true | _ -> false)
+             v.Protocol.failures));
+    case "batched and individual verdicts agree" (fun () ->
+        List.iter
+          (fun behaviour ->
+            let execution = setup_execution ~behaviour () in
+            let commitment = Protocol.commitment_of_execution execution in
+            let drbg = Sc_hash.Drbg.create ~seed:"agree" in
+            let challenge =
+              Protocol.make_challenge ~drbg ~n_tasks:16 ~samples:10
+                ~warrant:(warrant ())
+            in
+            let responses =
+              Option.get (Protocol.respond pub ~now:1.0 execution challenge)
+            in
+            let individual =
+              (Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+                 commitment challenge responses).Protocol.valid
+            in
+            let batched =
+              (Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da
+                 [ { Batch.owner = "alice"; commitment; challenge; responses } ]).Protocol.valid
+            in
+            check Alcotest.bool "agree" individual batched)
+          [
+            Executor.Honest;
+            Executor.Guess_fraction (1.0, 1 lsl 30);
+            Executor.Wrong_position_fraction 1.0;
+            Executor.Commit_garbage_fraction 1.0;
+          ]);
+  ]
+
+let trust_tests =
+  let open Util in
+  let module Trust = Sc_audit.Trust in
+  [
+    case "unknown server has neutral estimate" (fun () ->
+        let t = Trust.create () in
+        check (Alcotest.float 1e-9) "prior" 0.5 (Trust.estimate t ~server:"new"));
+    case "estimate converges with clean history" (fun () ->
+        let t = Trust.create () in
+        for _ = 1 to 48 do
+          Trust.record t ~server:"good" ~passed:true
+        done;
+        check (Alcotest.float 1e-9) "49/50" (49.0 /. 50.0)
+          (Trust.estimate t ~server:"good");
+        check Alcotest.int "streak" 48 (Trust.clean_streak t ~server:"good"));
+    case "failure resets the streak and lowers the estimate" (fun () ->
+        let t = Trust.create () in
+        for _ = 1 to 10 do
+          Trust.record t ~server:"s" ~passed:true
+        done;
+        let before = Trust.estimate t ~server:"s" in
+        Trust.record t ~server:"s" ~passed:false;
+        check Alcotest.int "streak reset" 0 (Trust.clean_streak t ~server:"s");
+        check Alcotest.bool "estimate dropped" true
+          (Trust.estimate t ~server:"s" < before));
+    case "clean history earns smaller sample sizes" (fun () ->
+        let t = Trust.create () in
+        let p = Trust.default_policy in
+        let t0 = Trust.recommended_samples t p ~server:"s" in
+        for _ = 1 to 20 do
+          Trust.record t ~server:"s" ~passed:true
+        done;
+        let t20 = Trust.recommended_samples t p ~server:"s" in
+        check Alcotest.bool "monotone non-increasing" true (t20 <= t0);
+        check Alcotest.bool "strictly earned" true (t20 < t0);
+        (* a failure snaps back to the conservative value *)
+        Trust.record t ~server:"s" ~passed:false;
+        check Alcotest.int "snap back" t0 (Trust.recommended_samples t p ~server:"s"));
+    case "recommendation respects min/max clamps" (fun () ->
+        let t = Trust.create () in
+        let tight = { Sc_audit.Trust.default_policy with Sc_audit.Trust.max_samples = 5 } in
+        check Alcotest.bool "clamped high" true
+          (Trust.recommended_samples t tight ~server:"x" <= 5);
+        let loose =
+          { Sc_audit.Trust.default_policy with Sc_audit.Trust.min_samples = 50; eps = 0.5 }
+        in
+        check Alcotest.bool "clamped low" true
+          (Trust.recommended_samples t loose ~server:"x" >= 50));
+    case "persistent cheaters cross the drop threshold" (fun () ->
+        let t = Trust.create () in
+        for _ = 1 to 10 do
+          Trust.record t ~server:"evil" ~passed:false
+        done;
+        check Alcotest.bool "dropped" true (Trust.should_drop t ~server:"evil");
+        check Alcotest.bool "fresh servers kept" false
+          (Trust.should_drop t ~server:"fresh"));
+  ]
+
+let noninteractive_tests =
+  let open Util in
+  let module Ni = Sc_audit.Noninteractive in
+  [
+    case "derived indices are deterministic, distinct and in range" (fun () ->
+        let a = Ni.derive_indices ~root:"r" ~epoch:3 ~owner:"alice" ~n_tasks:40 ~samples:12 in
+        let b = Ni.derive_indices ~root:"r" ~epoch:3 ~owner:"alice" ~n_tasks:40 ~samples:12 in
+        check Alcotest.(list int) "deterministic" a b;
+        check Alcotest.int "distinct" 12 (List.length (List.sort_uniq compare a));
+        check Alcotest.bool "in range" true (List.for_all (fun i -> i >= 0 && i < 40) a));
+    case "derived indices differ across roots, epochs and owners" (fun () ->
+        let base = Ni.derive_indices ~root:"r" ~epoch:1 ~owner:"a" ~n_tasks:1000 ~samples:8 in
+        check Alcotest.bool "root matters" false
+          (base = Ni.derive_indices ~root:"s" ~epoch:1 ~owner:"a" ~n_tasks:1000 ~samples:8);
+        check Alcotest.bool "epoch matters" false
+          (base = Ni.derive_indices ~root:"r" ~epoch:2 ~owner:"a" ~n_tasks:1000 ~samples:8);
+        check Alcotest.bool "owner matters" false
+          (base = Ni.derive_indices ~root:"r" ~epoch:1 ~owner:"b" ~n_tasks:1000 ~samples:8));
+    case "samples clamp to n_tasks" (fun () ->
+        check Alcotest.int "clamped" 5
+          (List.length (Ni.derive_indices ~root:"r" ~epoch:0 ~owner:"a" ~n_tasks:5 ~samples:50)));
+    case "honest non-interactive proof verifies" (fun () ->
+        let execution = setup_execution () in
+        let proof = Ni.prove pub ~owner:"alice" ~epoch:7 ~samples:8 execution in
+        let v =
+          Ni.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+            ~expected_epoch:7 ~samples:8 proof
+        in
+        check Alcotest.bool "valid" true v.Protocol.valid);
+    case "stale epoch rejected (replay protection)" (fun () ->
+        let execution = setup_execution () in
+        let proof = Ni.prove pub ~owner:"alice" ~epoch:7 ~samples:6 execution in
+        let v =
+          Ni.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+            ~expected_epoch:8 ~samples:6 proof
+        in
+        check Alcotest.bool "rejected" false v.Protocol.valid);
+    case "server cannot choose its own indices" (fun () ->
+        let execution = setup_execution () in
+        let honest = Ni.prove pub ~owner:"alice" ~epoch:1 ~samples:6 execution in
+        (* Hand-pick different (still-valid) responses: verification
+           must notice the index set mismatch. *)
+        let forged =
+          { honest with Ni.responses = List.map (Executor.respond execution) [0;1;2;3;4;5] }
+        in
+        let honest_indices =
+          List.sort compare
+            (List.map (fun (r : Executor.response) -> r.Executor.task_index)
+               honest.Ni.responses)
+        in
+        if honest_indices = [ 0; 1; 2; 3; 4; 5 ] then ()
+        else begin
+          let v =
+            Ni.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+              ~expected_epoch:1 ~samples:6 forged
+          in
+          check Alcotest.bool "rejected" false v.Protocol.valid
+        end);
+    case "cheating executions fail the non-interactive audit" (fun () ->
+        List.iter
+          (fun behaviour ->
+            let execution = setup_execution ~behaviour () in
+            let proof = Ni.prove pub ~owner:"alice" ~epoch:2 ~samples:12 execution in
+            let v =
+              Ni.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+                ~expected_epoch:2 ~samples:12 proof
+            in
+            check Alcotest.bool "caught" false v.Protocol.valid)
+          [
+            Executor.Guess_fraction (1.0, 1 lsl 30);
+            Executor.Wrong_position_fraction 1.0;
+            Executor.Commit_garbage_fraction 1.0;
+          ]);
+  ]
+
+let suite =
+  sampling_tests @ optimal_tests @ protocol_tests @ batch_tests @ trust_tests
+  @ noninteractive_tests

@@ -1,0 +1,164 @@
+open Sc_bignum
+open Sc_field
+open Sc_ec
+
+(* Small curve with known structure: y² = x³ + x over F_23 (23 = 3 mod
+   4, supersingular, #E = 24), plus the toy pairing curve for scale. *)
+let p23 = Fp.create (Nat.of_int 23)
+let c23 = Curve.create p23 ~a:Fp.one ~b:Fp.zero
+
+let point = Alcotest.testable Curve.pp Curve.equal
+
+let all_points c fp pmax =
+  (* Brute-force enumeration of an affine curve over a tiny field. *)
+  let pts = ref [ Curve.infinity ] in
+  for x = 0 to pmax - 1 do
+    for y = 0 to pmax - 1 do
+      let pt = Curve.Affine (Fp.of_int fp x, Fp.of_int fp y) in
+      if Curve.on_curve c pt then pts := pt :: !pts
+    done
+  done;
+  !pts
+
+let unit_tests =
+  let open Util in
+  [
+    case "create rejects singular curve" (fun () ->
+        Alcotest.check_raises "singular"
+          (Invalid_argument "Curve.create: singular curve") (fun () ->
+            ignore (Curve.create p23 ~a:Fp.zero ~b:Fp.zero)));
+    case "group order of y^2 = x^3 + x over F_23 is 24" (fun () ->
+        Alcotest.(check int) "order" 24 (List.length (all_points c23 p23 23)));
+    case "every point has order dividing 24" (fun () ->
+        List.iter
+          (fun pt -> Alcotest.(check point) "24P = O" Curve.infinity
+              (Curve.mul_int c23 24 pt))
+          (all_points c23 p23 23));
+    case "identity laws" (fun () ->
+        let pt = Curve.Affine (Fp.of_int p23 9, Fp.of_int p23 5) in
+        Alcotest.(check bool) "on curve" true (Curve.on_curve c23 pt);
+        Alcotest.(check point) "P + O" pt (Curve.add c23 pt Curve.infinity);
+        Alcotest.(check point) "O + P" pt (Curve.add c23 Curve.infinity pt);
+        Alcotest.(check point) "P - P" Curve.infinity (Curve.sub c23 pt pt));
+    case "doubling point with y=0 gives infinity" (fun () ->
+        (* (0,0) is a 2-torsion point of y² = x³ + x. *)
+        let two_torsion = Curve.Affine (Fp.zero, Fp.zero) in
+        Alcotest.(check bool) "on curve" true (Curve.on_curve c23 two_torsion);
+        Alcotest.(check point) "2P = O" Curve.infinity
+          (Curve.double c23 two_torsion));
+    case "scalar multiplication matches repeated addition" (fun () ->
+        let pt = Curve.Affine (Fp.of_int p23 9, Fp.of_int p23 5) in
+        let rec rep k acc = if k = 0 then acc else rep (k - 1) (Curve.add c23 acc pt) in
+        for k = 0 to 30 do
+          Alcotest.(check point)
+            (Printf.sprintf "%dP" k)
+            (rep k Curve.infinity)
+            (Curve.mul_int c23 k pt)
+        done);
+    case "negative scalar" (fun () ->
+        let pt = Curve.Affine (Fp.of_int p23 9, Fp.of_int p23 5) in
+        Alcotest.(check point) "-3P" (Curve.neg c23 (Curve.mul_int c23 3 pt))
+          (Curve.mul_int c23 (-3) pt));
+    case "serialization round trip" (fun () ->
+        let prm = Lazy.force Util.toy_params in
+        let g = prm.Sc_pairing.Params.g in
+        let c = prm.Sc_pairing.Params.curve in
+        Alcotest.(check (option point)) "g" (Some g)
+          (Curve.of_bytes c (Curve.to_bytes c g));
+        Alcotest.(check (option point)) "infinity" (Some Curve.infinity)
+          (Curve.of_bytes c (Curve.to_bytes c Curve.infinity)));
+    case "of_bytes rejects off-curve point" (fun () ->
+        let prm = Lazy.force Util.toy_params in
+        let c = prm.Sc_pairing.Params.curve in
+        let n = (Nat.bit_length prm.Sc_pairing.Params.p + 7) / 8 in
+        let junk = "\x04" ^ String.make (2 * n) '\x05' in
+        Alcotest.(check (option point)) "rejected" None (Curve.of_bytes c junk));
+    case "of_bytes rejects wrong length" (fun () ->
+        let prm = Lazy.force Util.toy_params in
+        let c = prm.Sc_pairing.Params.curve in
+        Alcotest.(check (option point)) "short" None (Curve.of_bytes c "\x04\x01"));
+    case "lift_x produces on-curve points" (fun () ->
+        let found = ref 0 in
+        for x = 0 to 22 do
+          match Curve.lift_x c23 (Fp.of_int p23 x) with
+          | Some pt ->
+            incr found;
+            Alcotest.(check bool) "on curve" true (Curve.on_curve c23 pt)
+          | None -> ()
+        done;
+        Alcotest.(check bool) "some x lift" true (!found > 5));
+    case "random points lie on curve" (fun () ->
+        let prm = Lazy.force Util.toy_params in
+        let bs = Util.fresh_bs "ec-random" in
+        for _ = 1 to 10 do
+          let pt = Curve.random prm.Sc_pairing.Params.curve ~bytes_source:bs in
+          Alcotest.(check bool) "on curve" true
+            (Curve.on_curve prm.Sc_pairing.Params.curve pt)
+        done);
+  ]
+
+let precomp_tests =
+  let open Util in
+  let prm = Lazy.force Util.toy_params in
+  let curve = prm.Sc_pairing.Params.curve in
+  let g = prm.Sc_pairing.Params.g in
+  let q = prm.Sc_pairing.Params.q in
+  [
+    case "precomputed fixed-base matches the ladder" (fun () ->
+        let pc = Curve.precompute curve ~bits:(Nat.bit_length q) g in
+        let bs = Util.fresh_bs "pc" in
+        for _ = 1 to 25 do
+          let s = Sc_pairing.Params.random_scalar prm ~bytes_source:bs in
+          if not (Curve.equal (Curve.mul curve s g) (Curve.mul_precomp curve pc s))
+          then Alcotest.fail "mismatch"
+        done;
+        Alcotest.(check point) "zero scalar" Curve.infinity
+          (Curve.mul_precomp curve pc Nat.zero));
+    case "precomp rejects out-of-range scalars" (fun () ->
+        let pc = Curve.precompute curve ~bits:8 g in
+        Alcotest.check_raises "too large"
+          (Invalid_argument "Curve.mul_precomp: scalar exceeds precomputed range")
+          (fun () -> ignore (Curve.mul_precomp curve pc (Nat.of_int 256))));
+    case "Params.mul_g equals Curve.mul on the generator" (fun () ->
+        let bs = Util.fresh_bs "mulg" in
+        for _ = 1 to 15 do
+          let s = Sc_pairing.Params.random_scalar prm ~bytes_source:bs in
+          if not (Curve.equal (Sc_pairing.Params.mul_g prm s) (Curve.mul curve s g))
+          then Alcotest.fail "mismatch"
+        done);
+  ]
+
+let property_tests =
+  let open Util in
+  let prm = Lazy.force Util.toy_params in
+  let curve = prm.Sc_pairing.Params.curve in
+  let g = prm.Sc_pairing.Params.g in
+  let q = prm.Sc_pairing.Params.q in
+  let gen_scalar =
+    let open QCheck2.Gen in
+    let* bytes = string_size ~gen:char (return 16) in
+    return (Nat.rem (Nat.of_bytes_be bytes) q)
+  in
+  [
+    qcheck ~count:30 "(a+b)G = aG + bG" (QCheck2.Gen.pair gen_scalar gen_scalar)
+      (fun (a, b) ->
+        Curve.equal
+          (Curve.mul curve (Nat.rem (Nat.add a b) q) g)
+          (Curve.add curve (Curve.mul curve a g) (Curve.mul curve b g)));
+    qcheck ~count:20 "(ab)G = a(bG)" (QCheck2.Gen.pair gen_scalar gen_scalar)
+      (fun (a, b) ->
+        Curve.equal
+          (Curve.mul curve (Nat.rem (Nat.mul a b) q) g)
+          (Curve.mul curve a (Curve.mul curve b g)));
+    qcheck ~count:30 "qG = O kills any subgroup point" gen_scalar (fun a ->
+        Curve.is_infinity (Curve.mul curve q (Curve.mul curve a g)));
+    qcheck ~count:30 "mul result stays on curve" gen_scalar (fun a ->
+        Curve.on_curve curve (Curve.mul curve a g));
+    qcheck ~count:30 "serialization round trip" gen_scalar (fun a ->
+        let pt = Curve.mul curve a g in
+        match Curve.of_bytes curve (Curve.to_bytes curve pt) with
+        | Some pt' -> Curve.equal pt pt'
+        | None -> false);
+  ]
+
+let suite = unit_tests @ precomp_tests @ property_tests

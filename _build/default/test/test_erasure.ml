@@ -1,0 +1,220 @@
+module Gf = Sc_erasure.Gf256
+module Rs = Sc_erasure.Reed_solomon
+module Por = Sc_pdp.Por
+
+let gf_tests =
+  let open Util in
+  [
+    case "field axioms on exhaustive small checks" (fun () ->
+        (* full multiplicative inverse table *)
+        for a = 1 to 255 do
+          check Alcotest.int (Printf.sprintf "%d * %d^-1" a a) 1 (Gf.mul a (Gf.inv a))
+        done;
+        (* spot associativity / distributivity *)
+        List.iter
+          (fun (a, b, c) ->
+            check Alcotest.int "assoc" (Gf.mul a (Gf.mul b c)) (Gf.mul (Gf.mul a b) c);
+            check Alcotest.int "distrib"
+              (Gf.mul a (Gf.add b c))
+              (Gf.add (Gf.mul a b) (Gf.mul a c)))
+          [ 7, 13, 200; 0x53, 0xCA, 5; 255, 254, 253 ]);
+    case "AES known product 0x57 * 0x83 = 0xC1" (fun () ->
+        check Alcotest.int "known" 0xC1 (Gf.mul 0x57 0x83));
+    case "add is xor and self-inverse" (fun () ->
+        check Alcotest.int "xor" (0x57 lxor 0x83) (Gf.add 0x57 0x83);
+        check Alcotest.int "self" 0 (Gf.add 0x42 0x42));
+    case "exp/log inverse" (fun () ->
+        for a = 1 to 255 do
+          check Alcotest.int "exp(log a) = a" a (Gf.exp (Gf.log a))
+        done);
+    case "pow laws" (fun () ->
+        check Alcotest.int "a^0" 1 (Gf.pow 7 0);
+        check Alcotest.int "a^1" 7 (Gf.pow 7 1);
+        check Alcotest.int "a^255 = 1" 1 (Gf.pow 7 255);
+        check Alcotest.int "0^k" 0 (Gf.pow 0 5));
+    case "division" (fun () ->
+        check Alcotest.int "a*b/b" 0x57 (Gf.div (Gf.mul 0x57 0x83) 0x83);
+        Alcotest.check_raises "div0" Division_by_zero (fun () -> ignore (Gf.inv 0)));
+  ]
+
+let rs_tests =
+  let open Util in
+  let p = Rs.create ~k:4 ~n:10 in
+  let data = "The quick brown fox jumps over the lazy dog 0123456789." in
+  [
+    case "create validates parameters" (fun () ->
+        Alcotest.check_raises "k=0"
+          (Invalid_argument "Reed_solomon.create: need 1 <= k <= n <= 255")
+          (fun () -> ignore (Rs.create ~k:0 ~n:5));
+        Alcotest.check_raises "n<k"
+          (Invalid_argument "Reed_solomon.create: need 1 <= k <= n <= 255")
+          (fun () -> ignore (Rs.create ~k:5 ~n:4)));
+    case "all shards present decodes" (fun () ->
+        let shards = Rs.encode_string p data in
+        let survivors = List.mapi (fun i s -> i, s) shards in
+        check Alcotest.(option string) "full" (Some data)
+          (Rs.decode_string p survivors));
+    case "any k-subset decodes" (fun () ->
+        let shards = Array.of_list (Rs.encode_string p data) in
+        List.iter
+          (fun subset ->
+            let survivors = List.map (fun i -> i, shards.(i)) subset in
+            check Alcotest.(option string)
+              (String.concat "," (List.map string_of_int subset))
+              (Some data)
+              (Rs.decode_string p survivors))
+          [ [ 0; 1; 2; 3 ]; [ 6; 7; 8; 9 ]; [ 0; 3; 5; 9 ]; [ 9; 2; 7; 4 ] ]);
+    case "fewer than k shards fails" (fun () ->
+        let shards = Array.of_list (Rs.encode_string p data) in
+        check Alcotest.(option string) "3 of 4" None
+          (Rs.decode_string p [ 0, shards.(0); 1, shards.(1); 2, shards.(2) ]));
+    case "duplicate and out-of-range survivors are sanitized" (fun () ->
+        let shards = Array.of_list (Rs.encode_string p data) in
+        let survivors =
+          [ 0, shards.(0); 0, shards.(0); 77, "junk"; 1, shards.(1);
+            2, shards.(2); 3, shards.(3) ]
+        in
+        check Alcotest.(option string) "sanitized" (Some data)
+          (Rs.decode_string p survivors));
+    case "empty data round trips" (fun () ->
+        let shards = Rs.encode_string p "" in
+        check Alcotest.(option string) "empty" (Some "")
+          (Rs.decode_string p (List.mapi (fun i s -> i, s) shards)));
+    case "k = 1 replication special case" (fun () ->
+        let p1 = Rs.create ~k:1 ~n:5 in
+        let shards = Array.of_list (Rs.encode_string p1 "hello") in
+        check Alcotest.(option string) "one survivor" (Some "hello")
+          (Rs.decode_string p1 [ 3, shards.(3) ]));
+    case "k = n degenerate (no redundancy)" (fun () ->
+        let pn = Rs.create ~k:3 ~n:3 in
+        let shards = Array.of_list (Rs.encode_string pn data) in
+        check Alcotest.(option string) "all needed" (Some data)
+          (Rs.decode_string pn [ 0, shards.(0); 1, shards.(1); 2, shards.(2) ]));
+  ]
+
+let rs_property_tests =
+  let open Util in
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 1 8) (int_range 0 8)
+        (string_size ~gen:printable (int_range 0 200)))
+  in
+  [
+    qcheck ~count:60 "random (k, extra, data): drop any n-k shards" gen
+      (fun (k, extra, data) ->
+        let n = k + extra in
+        let p = Rs.create ~k ~n in
+        let shards = Array.of_list (Rs.encode_string p data) in
+        (* keep the last k shards — a worst-ish case subset *)
+        let survivors = List.init k (fun i -> n - 1 - i, shards.(n - 1 - i)) in
+        Rs.decode_string p survivors = Some data);
+  ]
+
+let por_tests =
+  let open Util in
+  let data = String.concat ";" (List.init 120 (Printf.sprintf "row-%d")) in
+  let make () = Por.encode ~key:"por-test-key" ~k:6 ~n:15 ~sentinels:10 data in
+  [
+    case "sentinel audit passes on intact storage" (fun () ->
+        let client, stored = make () in
+        let drbg = Sc_hash.Drbg.create ~seed:"pc" in
+        let chal = Por.challenge client ~drbg ~count:6 in
+        check Alcotest.int "asked" 6 (List.length chal);
+        check Alcotest.bool "pass" true
+          (Por.verify_response client
+             (List.map (fun pos -> pos, Some stored.(pos)) chal)));
+    case "missing sentinel fails the audit" (fun () ->
+        let client, stored = make () in
+        let drbg = Sc_hash.Drbg.create ~seed:"pm" in
+        let chal = Por.challenge client ~drbg ~count:4 in
+        let responses =
+          List.mapi
+            (fun i pos -> pos, if i = 2 then None else Some stored.(pos))
+            chal
+        in
+        check Alcotest.bool "fail" false (Por.verify_response client responses));
+    case "substituted sentinel fails the audit" (fun () ->
+        let client, stored = make () in
+        let drbg = Sc_hash.Drbg.create ~seed:"ps" in
+        let chal = Por.challenge client ~drbg ~count:4 in
+        let other = stored.(List.hd chal) in
+        let responses =
+          List.mapi
+            (fun i pos -> pos, Some (if i = 1 then other else stored.(pos)))
+            chal
+        in
+        (* Either the MAC (position-bound) or the sentinel value check
+           must reject the swap. *)
+        check Alcotest.bool "fail" false (Por.verify_response client responses));
+    case "over-challenging raises" (fun () ->
+        let client, _ = make () in
+        Alcotest.check_raises "too many"
+          (Invalid_argument "Por.challenge: not enough sentinels") (fun () ->
+            ignore
+              (Por.challenge client
+                 ~drbg:(Sc_hash.Drbg.create ~seed:"x")
+                 ~count:11)));
+    case "extraction survives maximal tolerable damage" (fun () ->
+        let client, stored = make () in
+        (* Keep only the 6 code shards needed: delete everything else.
+           Erasing 9 of 15 code shards plus all sentinels must still
+           decode. *)
+        let damaged = Array.map (fun b -> Some b) stored in
+        let deleted = ref 0 in
+        Array.iteri
+          (fun pos _ ->
+            if !deleted < Array.length stored - 6 && pos mod 5 <> 0 then begin
+              damaged.(pos) <- None;
+              incr deleted
+            end)
+          stored;
+        (* ensure at least 6 blocks remain *)
+        match Por.extract client damaged with
+        | Some d -> check Alcotest.string "recovered" data d
+        | None ->
+          (* the positional deletion pattern might have clipped code
+             shards below k; rebuild with a guaranteed-safe pattern *)
+          let safe = Array.map (fun b -> Some b) stored in
+          Array.iteri (fun pos _ -> if pos mod 2 = 1 then safe.(pos) <- None) stored;
+          (match Por.extract client safe with
+          | Some d -> check Alcotest.string "recovered (safe pattern)" data d
+          | None -> Alcotest.fail "extraction failed under 50% deletion"));
+    case "corrupted blocks are located by MAC and treated as erasures" (fun () ->
+        let client, stored = make () in
+        (* Corrupt a third of the blocks in place; the MACs must route
+           them to the erasure path rather than poisoning the decode. *)
+        let flip (b : Por.stored_block) =
+          {
+            b with
+            Por.payload =
+              String.map (fun c -> Char.chr (Char.code c lxor 1)) b.Por.payload;
+          }
+        in
+        let corrupted =
+          Array.mapi
+            (fun pos b -> Some (if pos mod 3 = 0 then flip b else b))
+            stored
+        in
+        match Por.extract client corrupted with
+        | Some d -> check Alcotest.string "recovered" data d
+        | None -> Alcotest.fail "extraction failed with corrupt third");
+    case "total destruction yields None" (fun () ->
+        let client, stored = make () in
+        check Alcotest.(option string) "gone" None
+          (Por.extract client (Array.map (fun _ -> None) stored)));
+    case "extraction is exact across sizes" (fun () ->
+        List.iter
+          (fun size ->
+            let payload = String.init size (fun i -> Char.chr (i mod 251)) in
+            let client, stored =
+              Por.encode ~key:"sz" ~k:4 ~n:9 ~sentinels:3 payload
+            in
+            match Por.extract client (Array.map (fun b -> Some b) stored) with
+            | Some d ->
+              if not (String.equal d payload) then
+                Alcotest.failf "mismatch at size %d" size
+            | None -> Alcotest.failf "failed at size %d" size)
+          [ 0; 1; 7; 64; 1000 ]);
+  ]
+
+let suite = gf_tests @ rs_tests @ rs_property_tests @ por_tests

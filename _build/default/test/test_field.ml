@@ -1,0 +1,124 @@
+open Sc_bignum
+open Sc_field
+
+(* A fixed 3-mod-4 prime for most tests. *)
+let p = Nat.of_decimal "2147483647" (* 2^31 - 1, = 3 mod 4 *)
+let fp = Fp.create p
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let fp2_el = Alcotest.testable Fp2.pp Fp2.equal
+
+let gen_el =
+  let open QCheck2.Gen in
+  let* bytes = string_size ~gen:char (return 8) in
+  return (Fp.of_nat fp (Nat.of_bytes_be bytes))
+
+let gen_el2 = QCheck2.Gen.(map (fun (a, b) -> Fp2.make a b) (pair gen_el gen_el))
+
+let unit_tests =
+  let open Util in
+  [
+    case "characteristic" (fun () -> check nat "p" p (Fp.characteristic fp));
+    case "of_int handles negatives" (fun () ->
+        check nat "-1" (Nat.sub p Nat.one) (Fp.of_int fp (-1));
+        check nat "-p = 0" Nat.zero (Fp.of_int fp (-2147483647)));
+    case "inv of zero raises" (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Fp.inv fp Fp.zero)));
+    case "legendre of squares" (fun () ->
+        for i = 2 to 20 do
+          let sq = Fp.sqr fp (Fp.of_int fp i) in
+          Alcotest.(check int) (Printf.sprintf "%d^2 is QR" i) 1 (Fp.legendre fp sq)
+        done);
+    case "legendre multiplicativity" (fun () ->
+        (* (ab|p) = (a|p)(b|p) *)
+        let pairs = [ 2, 3; 5, 7; 11, 13; 6, 35 ] in
+        List.iter
+          (fun (a, b) ->
+            let la = Fp.legendre fp (Fp.of_int fp a) in
+            let lb = Fp.legendre fp (Fp.of_int fp b) in
+            let lab = Fp.legendre fp (Fp.of_int fp (a * b)) in
+            Alcotest.(check int) "multiplicative" (la * lb) lab)
+          pairs);
+    case "sqrt recovers squares" (fun () ->
+        for i = 2 to 30 do
+          let x = Fp.of_int fp (i * 997) in
+          let sq = Fp.sqr fp x in
+          match Fp.sqrt fp sq with
+          | None -> Alcotest.fail "square must have a root"
+          | Some y ->
+            if not (Fp.equal y x || Fp.equal y (Fp.neg fp x))
+            then Alcotest.fail "wrong root"
+        done);
+    case "sqrt of non-residue is None" (fun () ->
+        (* Find a non-residue and check. *)
+        let rec find i =
+          if Fp.legendre fp (Fp.of_int fp i) = -1 then i else find (i + 1)
+        in
+        let nr = find 2 in
+        check Alcotest.bool "none" true (Fp.sqrt fp (Fp.of_int fp nr) = None));
+    case "sqrt requires p = 3 mod 4" (fun () ->
+        let bad = Fp.create (Nat.of_int 13) (* 13 = 1 mod 4 *) in
+        Alcotest.check_raises "1 mod 4"
+          (Invalid_argument "Fp.sqrt: characteristic is not 3 mod 4") (fun () ->
+            ignore (Fp.sqrt bad (Fp.of_int bad 4))));
+    case "fp2 check_ctx rejects 1 mod 4" (fun () ->
+        let bad = Fp.create (Nat.of_int 13) in
+        Alcotest.check_raises "1 mod 4"
+          (Invalid_argument "Fp2: characteristic must be 3 mod 4 for i^2 = -1")
+          (fun () -> Fp2.check_ctx bad));
+    case "fp2 i^2 = -1" (fun () ->
+        let i = Fp2.make Fp.zero Fp.one in
+        check fp2_el "i*i" (Fp2.of_base (Fp.of_int fp (-1))) (Fp2.mul fp i i));
+    case "fp2 inverse" (fun () ->
+        let x = Fp2.make (Fp.of_int fp 3) (Fp.of_int fp 4) in
+        check fp2_el "x * x^-1" Fp2.one (Fp2.mul fp x (Fp2.inv fp x)));
+    case "fp2 inv of zero raises" (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Fp2.inv fp Fp2.zero)));
+    case "fp2 norm is multiplicative" (fun () ->
+        let x = Fp2.make (Fp.of_int fp 3) (Fp.of_int fp 4) in
+        let y = Fp2.make (Fp.of_int fp 5) (Fp.of_int fp 12) in
+        check nat "N(xy) = N(x)N(y)"
+          (Fp.mul fp (Fp2.norm fp x) (Fp2.norm fp y))
+          (Fp2.norm fp (Fp2.mul fp x y)));
+    case "fp2 conj is field automorphism" (fun () ->
+        let x = Fp2.make (Fp.of_int fp 3) (Fp.of_int fp 4) in
+        let y = Fp2.make (Fp.of_int fp 7) (Fp.of_int fp 11) in
+        check fp2_el "conj(xy) = conj(x)conj(y)"
+          (Fp2.mul fp (Fp2.conj fp x) (Fp2.conj fp y))
+          (Fp2.conj fp (Fp2.mul fp x y)));
+    case "fp2 frobenius: conj(x) = x^p" (fun () ->
+        let x = Fp2.make (Fp.of_int fp 3) (Fp.of_int fp 4) in
+        check fp2_el "x^p" (Fp2.conj fp x) (Fp2.pow fp x p));
+  ]
+
+let property_tests =
+  let open Util in
+  [
+    qcheck "fp add/mul distributive" (QCheck2.Gen.triple gen_el gen_el gen_el)
+      (fun (a, b, c) ->
+        Fp.equal (Fp.mul fp a (Fp.add fp b c))
+          (Fp.add fp (Fp.mul fp a b) (Fp.mul fp a c)));
+    qcheck "fp inverse law" gen_el (fun a ->
+        Fp.is_zero a || Fp.equal Fp.one (Fp.mul fp a (Fp.inv fp a)));
+    qcheck "fp sqrt of square exists" gen_el (fun a ->
+        match Fp.sqrt fp (Fp.sqr fp a) with
+        | Some y -> Fp.equal y a || Fp.equal y (Fp.neg fp a)
+        | None -> false);
+    qcheck "fp2 mul commutative" (QCheck2.Gen.pair gen_el2 gen_el2)
+      (fun (x, y) -> Fp2.equal (Fp2.mul fp x y) (Fp2.mul fp y x));
+    qcheck "fp2 mul associative" (QCheck2.Gen.triple gen_el2 gen_el2 gen_el2)
+      (fun (x, y, z) ->
+        Fp2.equal (Fp2.mul fp x (Fp2.mul fp y z)) (Fp2.mul fp (Fp2.mul fp x y) z));
+    qcheck "fp2 sqr = mul self" gen_el2 (fun x ->
+        Fp2.equal (Fp2.sqr fp x) (Fp2.mul fp x x));
+    qcheck "fp2 inverse law" gen_el2 (fun x ->
+        Fp2.is_zero x || Fp2.equal Fp2.one (Fp2.mul fp x (Fp2.inv fp x)));
+    qcheck "fp2 norm = x * conj(x)" gen_el2 (fun x ->
+        Fp2.equal
+          (Fp2.of_base (Fp2.norm fp x))
+          (Fp2.mul fp x (Fp2.conj fp x)));
+  ]
+
+let suite = unit_tests @ property_tests

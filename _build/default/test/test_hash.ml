@@ -1,0 +1,114 @@
+(* SHA-256 / HMAC against FIPS-180-4 and RFC 4231 vectors; DRBG
+   determinism. *)
+
+let sha_vectors =
+  [
+    "", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+    "abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+  ]
+
+let unit_tests =
+  let open Util in
+  [
+    case "FIPS 180-4 vectors" (fun () ->
+        List.iter
+          (fun (msg, expected) ->
+            check Alcotest.string (String.sub expected 0 8) expected
+              (Sc_hash.Sha256.digest_hex msg))
+          sha_vectors);
+    case "million a's" (fun () ->
+        check Alcotest.string "1M x 'a'"
+          "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+          (Sc_hash.Sha256.digest_hex (String.make 1_000_000 'a')));
+    case "incremental = one-shot across chunkings" (fun () ->
+        let msg = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+        let expected = Sc_hash.Sha256.digest msg in
+        List.iter
+          (fun chunk ->
+            let ctx = Sc_hash.Sha256.init () in
+            let rec feed off =
+              if off < String.length msg then begin
+                let len = min chunk (String.length msg - off) in
+                Sc_hash.Sha256.feed ctx (String.sub msg off len);
+                feed (off + len)
+              end
+            in
+            feed 0;
+            check Alcotest.string
+              (Printf.sprintf "chunk=%d" chunk)
+              (Sc_hash.Sha256.hex_of_digest expected)
+              (Sc_hash.Sha256.hex_of_digest (Sc_hash.Sha256.finalize ctx)))
+          [ 1; 3; 55; 56; 63; 64; 65; 128; 1000 ]);
+    case "finalize twice raises" (fun () ->
+        let ctx = Sc_hash.Sha256.init () in
+        ignore (Sc_hash.Sha256.finalize ctx);
+        Alcotest.check_raises "double finalize"
+          (Invalid_argument "Sha256.finalize: already finalized") (fun () ->
+            ignore (Sc_hash.Sha256.finalize ctx)));
+    case "digest_concat equals digest of concatenation" (fun () ->
+        let parts = [ "a"; "bc"; ""; "def"; String.make 100 'x' ] in
+        check Alcotest.string "concat"
+          (Sc_hash.Sha256.digest_hex (String.concat "" parts))
+          (Sc_hash.Sha256.hex_of_digest (Sc_hash.Sha256.digest_concat parts)));
+    case "HMAC RFC 4231 test case 1" (fun () ->
+        check Alcotest.string "tc1"
+          "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+          (Sc_hash.Hmac.mac_hex ~key:(String.make 20 '\x0b') "Hi There"));
+    case "HMAC RFC 4231 test case 2" (fun () ->
+        check Alcotest.string "tc2"
+          "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+          (Sc_hash.Hmac.mac_hex ~key:"Jefe" "what do ya want for nothing?"));
+    case "HMAC RFC 4231 test case 3" (fun () ->
+        check Alcotest.string "tc3"
+          "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+          (Sc_hash.Hmac.mac_hex ~key:(String.make 20 '\xaa')
+             (String.make 50 '\xdd')));
+    case "HMAC long key (hashed) RFC 4231 test case 6" (fun () ->
+        check Alcotest.string "tc6"
+          "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+          (Sc_hash.Hmac.mac_hex ~key:(String.make 131 '\xaa')
+             "Test Using Larger Than Block-Size Key - Hash Key First"));
+    case "DRBG determinism" (fun () ->
+        let a = Sc_hash.Drbg.create ~seed:"seed" in
+        let b = Sc_hash.Drbg.create ~seed:"seed" in
+        check Alcotest.string "same stream"
+          (Sc_hash.Sha256.hex_of_digest (Sc_hash.Drbg.generate a 64))
+          (Sc_hash.Sha256.hex_of_digest (Sc_hash.Drbg.generate b 64)));
+    case "DRBG seed separation" (fun () ->
+        let a = Sc_hash.Drbg.create ~seed:"seed-1" in
+        let b = Sc_hash.Drbg.create ~seed:"seed-2" in
+        check Alcotest.bool "different" false
+          (String.equal (Sc_hash.Drbg.generate a 32) (Sc_hash.Drbg.generate b 32)));
+    case "DRBG reseed changes stream" (fun () ->
+        let a = Sc_hash.Drbg.create ~seed:"seed" in
+        let b = Sc_hash.Drbg.create ~seed:"seed" in
+        Sc_hash.Drbg.reseed b "entropy";
+        check Alcotest.bool "diverged" false
+          (String.equal (Sc_hash.Drbg.generate a 32) (Sc_hash.Drbg.generate b 32)));
+    case "DRBG uniform_int in range" (fun () ->
+        let d = Sc_hash.Drbg.create ~seed:"uniform" in
+        for _ = 1 to 500 do
+          let v = Sc_hash.Drbg.uniform_int d 17 in
+          if v < 0 || v >= 17 then Alcotest.fail "out of range"
+        done);
+    case "DRBG uniform_int covers support" (fun () ->
+        let d = Sc_hash.Drbg.create ~seed:"coverage" in
+        let seen = Array.make 8 false in
+        for _ = 1 to 400 do
+          seen.(Sc_hash.Drbg.uniform_int d 8) <- true
+        done;
+        check Alcotest.bool "all seen" true (Array.for_all Fun.id seen));
+    case "DRBG float in [0,1)" (fun () ->
+        let d = Sc_hash.Drbg.create ~seed:"floats" in
+        for _ = 1 to 500 do
+          let f = Sc_hash.Drbg.float d in
+          if not (f >= 0.0 && f < 1.0) then Alcotest.fail "out of range"
+        done);
+  ]
+
+let suite = unit_tests

@@ -1,0 +1,240 @@
+open Sc_ibc
+module Curve = Sc_ec.Curve
+
+let prm = Lazy.force Util.toy_params
+let bs = Util.fresh_bs "ibc-tests"
+let sio = Setup.create prm ~bytes_source:bs
+let pub = Setup.public sio
+let alice = Setup.extract sio "alice"
+let bob = Setup.extract sio "bob"
+let cs = Setup.extract sio "cloud-server"
+let da = Setup.extract sio "agency"
+
+let unit_tests =
+  let open Util in
+  [
+    case "extracted keys validate against P_pub" (fun () ->
+        List.iter
+          (fun k -> check Alcotest.bool k.Setup.id true (Setup.valid_key pub k))
+          [ alice; bob; cs; da ]);
+    case "q_of_id matches extraction and is identity-specific" (fun () ->
+        check Alcotest.bool "match" true
+          (Curve.equal (Setup.q_of_id pub "alice") alice.Setup.q_id);
+        check Alcotest.bool "distinct" false
+          (Curve.equal alice.Setup.q_id bob.Setup.q_id));
+    case "a foreign secret key fails validation" (fun () ->
+        let forged = { alice with Setup.sk = bob.Setup.sk } in
+        check Alcotest.bool "invalid" false (Setup.valid_key pub forged));
+    case "IBS sign/verify round trip" (fun () ->
+        let s = Ibs.sign pub alice ~bytes_source:bs "hello world" in
+        check Alcotest.bool "verifies" true
+          (Ibs.verify pub ~signer:"alice" ~msg:"hello world" s));
+    case "IBS rejects wrong message" (fun () ->
+        let s = Ibs.sign pub alice ~bytes_source:bs "hello" in
+        check Alcotest.bool "wrong msg" false
+          (Ibs.verify pub ~signer:"alice" ~msg:"h3llo" s));
+    case "IBS rejects wrong signer" (fun () ->
+        let s = Ibs.sign pub alice ~bytes_source:bs "hello" in
+        check Alcotest.bool "wrong signer" false
+          (Ibs.verify pub ~signer:"bob" ~msg:"hello" s));
+    case "IBS signatures are randomized" (fun () ->
+        let s1 = Ibs.sign pub alice ~bytes_source:bs "m" in
+        let s2 = Ibs.sign pub alice ~bytes_source:bs "m" in
+        check Alcotest.bool "distinct U" false (Curve.equal s1.Ibs.u s2.Ibs.u);
+        check Alcotest.bool "both verify" true
+          (Ibs.verify pub ~signer:"alice" ~msg:"m" s1
+          && Ibs.verify pub ~signer:"alice" ~msg:"m" s2));
+    case "IBS serialization round trip" (fun () ->
+        let s = Ibs.sign pub alice ~bytes_source:bs "serialize me" in
+        match Ibs.of_bytes pub (Ibs.to_bytes pub s) with
+        | Some s' ->
+          check Alcotest.bool "u" true (Curve.equal s.Ibs.u s'.Ibs.u);
+          check Alcotest.bool "v" true (Curve.equal s.Ibs.v s'.Ibs.v)
+        | None -> Alcotest.fail "decode failed");
+    case "IBS of_bytes rejects garbage" (fun () ->
+        check Alcotest.bool "garbage" true (Ibs.of_bytes pub "zz" = None);
+        check Alcotest.bool "bad length" true (Ibs.of_bytes pub "0099abc" = None));
+    case "DVS designated verification (eq. 5/7)" (fun () ->
+        let raw = Ibs.sign pub alice ~bytes_source:bs "designated" in
+        let d = Dvs.designate pub raw ~verifier:"cloud-server" in
+        check Alcotest.bool "CS verifies" true
+          (Dvs.verify pub ~verifier_key:cs ~signer:"alice" ~msg:"designated" d));
+    case "DVS rejected by non-designated verifier" (fun () ->
+        let raw = Ibs.sign pub alice ~bytes_source:bs "designated" in
+        let d = Dvs.designate pub raw ~verifier:"cloud-server" in
+        check Alcotest.bool "DA cannot verify CS-designated" false
+          (Dvs.verify pub ~verifier_key:da ~signer:"alice" ~msg:"designated" d));
+    case "DVS detects message tampering" (fun () ->
+        let raw = Ibs.sign pub alice ~bytes_source:bs "original" in
+        let d = Dvs.designate pub raw ~verifier:"agency" in
+        check Alcotest.bool "tampered" false
+          (Dvs.verify pub ~verifier_key:da ~signer:"alice" ~msg:"tampered" d));
+    case "DVS simulation: verifier can forge transcripts (privacy)" (fun () ->
+        (* The designated verifier simulates a signature alice never
+           produced; it passes its own verification, which is exactly
+           why a transcript convinces no third party (§VII-B). *)
+        let fake =
+          Dvs.simulate pub ~verifier_key:da ~signer:"alice"
+            ~msg:"alice never signed this" ~bytes_source:bs
+        in
+        check Alcotest.bool "accepted" true
+          (Dvs.verify pub ~verifier_key:da ~signer:"alice"
+             ~msg:"alice never signed this" fake));
+    case "batch verify accepts valid batch from multiple signers" (fun () ->
+        let entries =
+          List.concat_map
+            (fun (key, id) ->
+              List.init 4 (fun i ->
+                  let m = Printf.sprintf "%s-msg-%d" id i in
+                  let raw = Ibs.sign pub key ~bytes_source:bs m in
+                  {
+                    Agg.signer = id;
+                    msg = m;
+                    dvs = Dvs.designate pub raw ~verifier:"agency";
+                  }))
+            [ alice, "alice"; bob, "bob" ]
+        in
+        check Alcotest.bool "batch ok" true
+          (Agg.verify_batch pub ~verifier_key:da entries));
+    case "batch verify accepts empty batch" (fun () ->
+        check Alcotest.bool "empty" true (Agg.verify_batch pub ~verifier_key:da []));
+    case "batch verify rejects one bad entry" (fun () ->
+        let good =
+          List.init 5 (fun i ->
+              let m = Printf.sprintf "ok-%d" i in
+              let raw = Ibs.sign pub alice ~bytes_source:bs m in
+              { Agg.signer = "alice"; msg = m; dvs = Dvs.designate pub raw ~verifier:"agency" })
+        in
+        let bad =
+          match good with
+          | e :: _ -> { e with Agg.msg = "altered" }
+          | [] -> assert false
+        in
+        check Alcotest.bool "rejected" false
+          (Agg.verify_batch pub ~verifier_key:da (bad :: good)));
+    case "batch verification uses one pairing" (fun () ->
+        let entries =
+          List.init 10 (fun i ->
+              let m = Printf.sprintf "count-%d" i in
+              let raw = Ibs.sign pub alice ~bytes_source:bs m in
+              { Agg.signer = "alice"; msg = m; dvs = Dvs.designate pub raw ~verifier:"agency" })
+        in
+        Sc_pairing.Tate.reset_pairing_count ();
+        assert (Agg.verify_batch pub ~verifier_key:da entries);
+        check Alcotest.int "1 pairing for 10 sigs" 1
+          (Sc_pairing.Tate.pairings_performed ()));
+    case "aggregate size is constant in batch size" (fun () ->
+        let make n =
+          List.init n (fun i ->
+              let m = Printf.sprintf "sz-%d" i in
+              let raw = Ibs.sign pub alice ~bytes_source:bs m in
+              { Agg.signer = "alice"; msg = m; dvs = Dvs.designate pub raw ~verifier:"agency" })
+        in
+        check Alcotest.int "same size"
+          (Agg.aggregate_size_bytes pub (make 2))
+          (Agg.aggregate_size_bytes pub (make 20)));
+    case "warrant verify within lifetime" (fun () ->
+        let w =
+          Warrant.issue pub alice ~bytes_source:bs ~delegatee:"agency" ~now:1000.0
+            ~lifetime:100.0 ~scope:"audit"
+        in
+        check Alcotest.bool "valid now" true (Warrant.verify pub ~now:1050.0 w);
+        check Alcotest.bool "expired" false (Warrant.verify pub ~now:1101.0 w);
+        check Alcotest.bool "before issue" false (Warrant.verify pub ~now:999.0 w));
+    case "warrant tampering detected" (fun () ->
+        let w =
+          Warrant.issue pub alice ~bytes_source:bs ~delegatee:"agency" ~now:0.0
+            ~lifetime:100.0 ~scope:"audit"
+        in
+        let extended =
+          { w with Warrant.warrant = { w.Warrant.warrant with Warrant.expires_at = 1e9 } }
+        in
+        check Alcotest.bool "extended lifetime rejected" false
+          (Warrant.verify pub ~now:50.0 extended);
+        let rescoped =
+          { w with Warrant.warrant = { w.Warrant.warrant with Warrant.scope = "steal" } }
+        in
+        check Alcotest.bool "rescoped rejected" false
+          (Warrant.verify pub ~now:50.0 rescoped));
+  ]
+
+let property_tests =
+  let open Util in
+  let gen_msg = QCheck2.Gen.(string_size ~gen:printable (int_range 0 60)) in
+  [
+    qcheck ~count:15 "IBS correct for random messages" gen_msg (fun m ->
+        let s = Ibs.sign pub alice ~bytes_source:bs m in
+        Ibs.verify pub ~signer:"alice" ~msg:m s);
+    qcheck ~count:15 "DVS correct for random messages" gen_msg (fun m ->
+        let raw = Ibs.sign pub bob ~bytes_source:bs m in
+        let d = Dvs.designate pub raw ~verifier:"agency" in
+        Dvs.verify pub ~verifier_key:da ~signer:"bob" ~msg:m d);
+    qcheck ~count:10 "batch = conjunction of individual verifies"
+      (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 6) gen_msg)
+      (fun msgs ->
+        let entries =
+          List.mapi
+            (fun i m ->
+              let m = Printf.sprintf "%d:%s" i m in
+              let raw = Ibs.sign pub alice ~bytes_source:bs m in
+              { Agg.signer = "alice"; msg = m; dvs = Dvs.designate pub raw ~verifier:"agency" })
+            msgs
+        in
+        let individual =
+          List.for_all
+            (fun e ->
+              Dvs.verify pub ~verifier_key:da ~signer:e.Agg.signer ~msg:e.Agg.msg
+                e.Agg.dvs)
+            entries
+        in
+        let batch = Agg.verify_batch pub ~verifier_key:da entries in
+        individual = batch);
+  ]
+
+let ibe_tests =
+  let open Util in
+  [
+    case "IBE encrypt/decrypt round trip" (fun () ->
+        let msg = "confidential ledger entry #42" in
+        let ct = Ibe.encrypt pub ~to_identity:"alice" ~bytes_source:bs msg in
+        check Alcotest.(option string) "decrypts" (Some msg)
+          (Ibe.decrypt pub ~key:alice ct));
+    case "IBE wrong identity cannot decrypt" (fun () ->
+        let ct = Ibe.encrypt pub ~to_identity:"alice" ~bytes_source:bs "secret" in
+        check Alcotest.(option string) "bob rejected" None
+          (Ibe.decrypt pub ~key:bob ct));
+    case "IBE detects tampered body and tag" (fun () ->
+        let ct = Ibe.encrypt pub ~to_identity:"alice" ~bytes_source:bs "secret-12" in
+        let flip s i = String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c) s in
+        check Alcotest.(option string) "body" None
+          (Ibe.decrypt pub ~key:alice { ct with Ibe.body = flip ct.Ibe.body 3 });
+        check Alcotest.(option string) "tag" None
+          (Ibe.decrypt pub ~key:alice { ct with Ibe.tag = flip ct.Ibe.tag 0 }));
+    case "IBE ciphertexts are randomized" (fun () ->
+        let c1 = Ibe.encrypt pub ~to_identity:"alice" ~bytes_source:bs "same" in
+        let c2 = Ibe.encrypt pub ~to_identity:"alice" ~bytes_source:bs "same" in
+        check Alcotest.bool "different bodies" false
+          (String.equal c1.Ibe.body c2.Ibe.body));
+    case "IBE handles empty and large messages" (fun () ->
+        List.iter
+          (fun msg ->
+            let ct = Ibe.encrypt pub ~to_identity:"bob" ~bytes_source:bs msg in
+            check Alcotest.(option string)
+              (Printf.sprintf "len %d" (String.length msg))
+              (Some msg)
+              (Ibe.decrypt pub ~key:bob ct))
+          [ ""; String.make 5000 'z' ]);
+    case "IBE ciphertext serialization round trip" (fun () ->
+        let ct = Ibe.encrypt pub ~to_identity:"alice" ~bytes_source:bs "wire me" in
+        match Ibe.ciphertext_of_bytes pub (Ibe.ciphertext_to_bytes pub ct) with
+        | Some ct' ->
+          check Alcotest.(option string) "still decrypts" (Some "wire me")
+            (Ibe.decrypt pub ~key:alice ct')
+        | None -> Alcotest.fail "decode failed");
+    case "IBE of_bytes rejects garbage" (fun () ->
+        check Alcotest.bool "garbage" true (Ibe.ciphertext_of_bytes pub "xx" = None);
+        check Alcotest.bool "bad length" true
+          (Ibe.ciphertext_of_bytes pub "0000junk" = None));
+  ]
+
+let suite = unit_tests @ property_tests @ ibe_tests

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "seccloud"
+    [
+      "nat", Test_nat.suite;
+      "modular", Test_modular.suite;
+      "prime", Test_prime.suite;
+      "hash", Test_hash.suite;
+      "field", Test_field.suite;
+      "ec", Test_ec.suite;
+      "pairing", Test_pairing.suite;
+      "merkle", Test_merkle.suite;
+      "ibc", Test_ibc.suite;
+      "baselines", Test_baselines.suite;
+      "storage", Test_storage.suite;
+      "compute", Test_compute.suite;
+      "audit", Test_audit.suite;
+      "seccloud", Test_seccloud.suite;
+      "wire", Test_wire.suite;
+      "erasure", Test_erasure.suite;
+      "sim", Test_sim.suite;
+    ]

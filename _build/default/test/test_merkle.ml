@@ -1,0 +1,118 @@
+module T = Sc_merkle.Tree
+
+let unit_tests =
+  let open Util in
+  [
+    case "build rejects empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Merkle.build: empty leaf list")
+          (fun () -> ignore (T.build [])));
+    case "single leaf: root = leaf hash" (fun () ->
+        let t = T.build [ "only" ] in
+        check Alcotest.string "root" (T.leaf_hash "only") (T.root t);
+        check Alcotest.int "size" 1 (T.size t);
+        check Alcotest.int "depth" 0 (T.depth t);
+        let p = T.proof t 0 in
+        check Alcotest.bool "proof verifies" true
+          (T.verify_proof ~root:(T.root t) ~leaf_payload:"only" p));
+    case "deterministic roots" (fun () ->
+        let leaves = List.init 9 (Printf.sprintf "leaf-%d") in
+        check Alcotest.bool "same" true (T.equal_root (T.build leaves) (T.build leaves)));
+    case "order sensitivity" (fun () ->
+        let a = T.build [ "x"; "y" ] and b = T.build [ "y"; "x" ] in
+        check Alcotest.bool "different" false (T.equal_root a b));
+    case "leaf/node domain separation" (fun () ->
+        (* A two-leaf tree's root must differ from the leaf hash of the
+           concatenation (no second-preimage shortcut). *)
+        let t = T.build [ "ab"; "cd" ] in
+        check Alcotest.bool "distinct" false
+          (String.equal (T.root t) (T.leaf_hash "abcd")));
+    case "proofs verify at every size and index" (fun () ->
+        List.iter
+          (fun n ->
+            let payloads = List.init n (Printf.sprintf "p%d-%d" n) in
+            let t = T.build payloads in
+            List.iteri
+              (fun i payload ->
+                let proof = T.proof t i in
+                if not (T.verify_proof ~root:(T.root t) ~leaf_payload:payload proof)
+                then Alcotest.failf "size %d index %d" n i)
+              payloads)
+          [ 1; 2; 3; 4; 5; 7; 8; 9; 15; 16; 17; 33; 64; 100 ]);
+    case "proof for wrong payload fails" (fun () ->
+        let t = T.build [ "a"; "b"; "c"; "d"; "e" ] in
+        let proof = T.proof t 2 in
+        check Alcotest.bool "wrong payload" false
+          (T.verify_proof ~root:(T.root t) ~leaf_payload:"x" proof));
+    case "proof against wrong root fails" (fun () ->
+        let t = T.build [ "a"; "b"; "c"; "d" ] in
+        let other = T.build [ "a"; "b"; "c"; "x" ] in
+        let proof = T.proof t 0 in
+        check Alcotest.bool "wrong root" false
+          (T.verify_proof ~root:(T.root other) ~leaf_payload:"a" proof));
+    case "tampered sibling in path fails" (fun () ->
+        let t = T.build [ "a"; "b"; "c"; "d" ] in
+        let proof = T.proof t 1 in
+        let tampered =
+          {
+            proof with
+            T.path =
+              (match proof.T.path with
+              | (side, h) :: rest ->
+                (side, T.leaf_hash (h ^ "!")) :: rest
+              | [] -> []);
+          }
+        in
+        check Alcotest.bool "tampered" false
+          (T.verify_proof ~root:(T.root t) ~leaf_payload:"b" tampered));
+    case "proof out of bounds raises" (fun () ->
+        let t = T.build [ "a"; "b" ] in
+        Alcotest.check_raises "oob" (Invalid_argument "Merkle.proof: index out of bounds")
+          (fun () -> ignore (T.proof t 2)));
+    case "update_leaf changes root and proofs" (fun () ->
+        let t = T.build [ "a"; "b"; "c"; "d"; "e" ] in
+        let t' = T.update_leaf t 3 "D" in
+        check Alcotest.bool "root changed" false (T.equal_root t t');
+        check Alcotest.bool "new proof ok" true
+          (T.verify_proof ~root:(T.root t') ~leaf_payload:"D" (T.proof t' 3));
+        check Alcotest.bool "old payload fails" false
+          (T.verify_proof ~root:(T.root t') ~leaf_payload:"d" (T.proof t' 3));
+        (* untouched leaves still verify *)
+        check Alcotest.bool "other leaf ok" true
+          (T.verify_proof ~root:(T.root t') ~leaf_payload:"a" (T.proof t' 0)));
+    case "depth grows logarithmically" (fun () ->
+        check Alcotest.int "2 leaves" 1 (T.depth (T.build [ "a"; "b" ]));
+        check Alcotest.int "4 leaves" 2 (T.depth (T.build [ "a"; "b"; "c"; "d" ]));
+        check Alcotest.int "8 leaves" 3
+          (T.depth (T.build (List.init 8 string_of_int)));
+        check Alcotest.int "9 leaves" 4
+          (T.depth (T.build (List.init 9 string_of_int))));
+  ]
+
+let property_tests =
+  let open Util in
+  let gen_leaves =
+    QCheck2.Gen.(list_size (int_range 1 80) (string_size ~gen:printable (int_range 0 20)))
+  in
+  [
+    qcheck ~count:60 "all proofs verify on random trees" gen_leaves (fun leaves ->
+        let t = T.build leaves in
+        List.for_all
+          (fun i ->
+            T.verify_proof ~root:(T.root t)
+              ~leaf_payload:(List.nth leaves i) (T.proof t i))
+          (List.init (List.length leaves) Fun.id));
+    qcheck ~count:60 "any single-leaf tamper is detected"
+      QCheck2.Gen.(pair gen_leaves small_nat)
+      (fun (leaves, idx) ->
+        let n = List.length leaves in
+        let i = idx mod n in
+        let t = T.build leaves in
+        let tampered = List.mapi (fun j l -> if j = i then l ^ "~" else l) leaves in
+        let t' = T.build tampered in
+        not (T.equal_root t t'));
+    qcheck ~count:60 "build_of_hashes agrees with build" gen_leaves (fun leaves ->
+        T.equal_root (T.build leaves)
+          (T.build_of_hashes (List.map T.leaf_hash leaves)));
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,223 @@
+open Sc_bignum
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let gen_mod =
+  (* Moduli of assorted widths, always >= 2. *)
+  let open QCheck2.Gen in
+  let* bits = int_range 2 400 in
+  let* bytes = string_size ~gen:char (return ((bits + 7) / 8)) in
+  let m = Nat.of_bytes_be bytes in
+  return (Nat.add m Nat.two)
+
+let gen_nat_small =
+  let open QCheck2.Gen in
+  let* bytes = string_size ~gen:char (int_range 0 64) in
+  return (Nat.of_bytes_be bytes)
+
+let unit_tests =
+  let open Util in
+  [
+    case "create rejects modulus < 2" (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument "Modular.create: modulus < 2")
+          (fun () -> ignore (Modular.create Nat.zero));
+        Alcotest.check_raises "one" (Invalid_argument "Modular.create: modulus < 2")
+          (fun () -> ignore (Modular.create Nat.one)));
+    case "reduce idempotent and below modulus" (fun () ->
+        let m = Nat.of_decimal "1000003" in
+        let ctx = Modular.create m in
+        let x = Nat.of_decimal "123456789123456789" in
+        let r = Modular.reduce ctx x in
+        check Alcotest.bool "below" true (Nat.compare r m < 0);
+        check nat "idempotent" r (Modular.reduce ctx r));
+    case "pow matches naive" (fun () ->
+        let m = Nat.of_int 1009 in
+        let ctx = Modular.create m in
+        let naive b e =
+          let rec go acc = function
+            | 0 -> acc
+            | k -> go (Nat.rem (Nat.mul acc b) m) (k - 1)
+          in
+          go Nat.one e
+        in
+        List.iter
+          (fun (b, e) ->
+            check nat
+              (Printf.sprintf "%d^%d" b e)
+              (naive (Nat.of_int b) e)
+              (Modular.pow ctx (Nat.of_int b) (Nat.of_int e)))
+          [ 2, 10; 3, 100; 1008, 57; 17, 0; 0, 5 ]);
+    case "fermat little theorem" (fun () ->
+        (* a^(p-1) = 1 mod p for prime p. *)
+        let p = Nat.of_decimal "1000000007" in
+        let ctx = Modular.create p in
+        List.iter
+          (fun a ->
+            check nat "fermat" Nat.one
+              (Modular.pow ctx (Nat.of_int a) (Nat.sub p Nat.one)))
+          [ 2; 3; 65537; 999999999 ]);
+    case "inverse times value is one" (fun () ->
+        let p = Nat.of_decimal "32416190071" in
+        let ctx = Modular.create p in
+        let a = Nat.of_decimal "31415926535" in
+        let ai = Modular.inv ctx a in
+        check nat "a * a^-1" Nat.one (Modular.mul ctx a ai));
+    case "inverse of non-coprime raises" (fun () ->
+        let ctx = Modular.create (Nat.of_int 100) in
+        Alcotest.check_raises "gcd != 1" Not_found (fun () ->
+            ignore (Modular.inv ctx (Nat.of_int 10))));
+    case "egcd bezout identity" (fun () ->
+        let a = Nat.of_decimal "240" and b = Nat.of_decimal "46" in
+        let g, x, y = Modular.egcd a b in
+        check nat "gcd" (Nat.of_int 2) g;
+        let lhs = Signed.add (Signed.mul (Signed.of_nat a) x)
+            (Signed.mul (Signed.of_nat b) y) in
+        check Alcotest.bool "bezout" true (Signed.equal lhs (Signed.of_nat g)));
+    case "of_signed maps negatives" (fun () ->
+        let ctx = Modular.create (Nat.of_int 7) in
+        check nat "-1 mod 7" (Nat.of_int 6) (Modular.of_signed ctx (Signed.of_int (-1)));
+        check nat "-15 mod 7" (Nat.of_int 6) (Modular.of_signed ctx (Signed.of_int (-15))))
+  ]
+
+let property_tests =
+  let open Util in
+  let with_ctx = QCheck2.Gen.pair gen_mod (QCheck2.Gen.pair gen_nat_small gen_nat_small) in
+  [
+    qcheck "barrett reduce = divmod rem" with_ctx (fun (m, (a, b)) ->
+        let ctx = Modular.create m in
+        let x = Nat.mul (Modular.reduce ctx a) (Modular.reduce ctx b) in
+        Nat.equal (Modular.reduce ctx x) (Nat.rem x m));
+    qcheck "add/sub inverse" with_ctx (fun (m, (a, b)) ->
+        let ctx = Modular.create m in
+        let a = Modular.reduce ctx a and b = Modular.reduce ctx b in
+        Nat.equal a (Modular.sub ctx (Modular.add ctx a b) b));
+    qcheck "neg is additive inverse" (QCheck2.Gen.pair gen_mod gen_nat_small)
+      (fun (m, a) ->
+        let ctx = Modular.create m in
+        let a = Modular.reduce ctx a in
+        Nat.is_zero (Modular.add ctx a (Modular.neg ctx a)));
+    qcheck "mul homomorphic to Nat.mul" with_ctx (fun (m, (a, b)) ->
+        let ctx = Modular.create m in
+        Nat.equal
+          (Modular.mul ctx (Modular.reduce ctx a) (Modular.reduce ctx b))
+          (Nat.rem (Nat.mul a b) m));
+    qcheck ~count:60 "pow adds exponents"
+      QCheck2.Gen.(triple gen_mod gen_nat_small (pair (int_range 0 60) (int_range 0 60)))
+      (fun (m, b, (e1, e2)) ->
+        let ctx = Modular.create m in
+        let b = Modular.reduce ctx b in
+        Nat.equal
+          (Modular.mul ctx
+             (Modular.pow ctx b (Nat.of_int e1))
+             (Modular.pow ctx b (Nat.of_int e2)))
+          (Modular.pow ctx b (Nat.of_int (e1 + e2))));
+    qcheck ~count:60 "egcd divides both"
+      QCheck2.Gen.(pair gen_nat_small gen_nat_small)
+      (fun (a, b) ->
+        let g, _, _ = Modular.egcd a b in
+        (Nat.is_zero a && Nat.is_zero b)
+        || (Nat.is_zero (Nat.rem a g) && Nat.is_zero (Nat.rem b g)));
+  ]
+
+let gen_odd_mod =
+  QCheck2.Gen.map
+    (fun m -> if Nat.is_even m then Nat.add m Nat.one else m)
+    gen_mod
+
+let montgomery_tests =
+  let open Util in
+  [
+    case "montgomery rejects even or tiny moduli" (fun () ->
+        Alcotest.check_raises "even"
+          (Invalid_argument "Montgomery.create: modulus must be odd and >= 3")
+          (fun () -> ignore (Montgomery.create (Nat.of_int 10)));
+        Alcotest.check_raises "one"
+          (Invalid_argument "Montgomery.create: modulus must be odd and >= 3")
+          (fun () -> ignore (Montgomery.create Nat.one)));
+    case "montgomery round trip through the domain" (fun () ->
+        let m = Nat.of_decimal "1000000007" in
+        let ctx = Montgomery.create m in
+        List.iter
+          (fun v ->
+            let v = Nat.of_int v in
+            check nat "round trip" (Nat.rem v m)
+              (Montgomery.of_mont ctx (Montgomery.to_mont ctx v)))
+          [ 0; 1; 999999999; 123456789 ]);
+    case "montgomery one is the domain image of 1" (fun () ->
+        let m = Nat.of_decimal "32416190071" in
+        let ctx = Montgomery.create m in
+        check nat "one" Nat.one (Montgomery.of_mont ctx (Montgomery.one ctx)));
+    case "montgomery pow known values" (fun () ->
+        let m = Nat.of_int 1009 in
+        let ctx = Montgomery.create m in
+        check nat "2^10 mod 1009" (Nat.of_int 15)
+          (Montgomery.pow ctx Nat.two (Nat.of_int 10));
+        check nat "x^0" Nat.one (Montgomery.pow ctx (Nat.of_int 7) Nat.zero));
+  ]
+
+let montgomery_property_tests =
+  let open Util in
+  [
+    qcheck ~count:80 "montgomery mul == barrett mul"
+      (QCheck2.Gen.triple gen_odd_mod gen_nat_small gen_nat_small)
+      (fun (m, a, b) ->
+        let mc = Montgomery.create m and mo = Modular.create m in
+        Nat.equal
+          (Montgomery.of_mont mc
+             (Montgomery.mul mc (Montgomery.to_mont mc a) (Montgomery.to_mont mc b)))
+          (Modular.mul mo (Modular.reduce mo a) (Modular.reduce mo b)));
+    qcheck ~count:40 "montgomery pow == barrett pow"
+      (QCheck2.Gen.triple gen_odd_mod gen_nat_small
+         (QCheck2.Gen.int_range 0 200))
+      (fun (m, b, e) ->
+        let mc = Montgomery.create m and mo = Modular.create m in
+        Nat.equal (Montgomery.pow mc b (Nat.of_int e))
+          (Modular.pow mo b (Nat.of_int e)));
+  ]
+
+let jacobi_tests =
+  let open Util in
+  [
+    case "jacobi rejects even modulus" (fun () ->
+        Alcotest.check_raises "even"
+          (Invalid_argument "Modular.jacobi: modulus must be odd and positive")
+          (fun () -> ignore (Modular.jacobi Nat.one (Nat.of_int 8))));
+    case "jacobi known small values" (fun () ->
+        (* (a|7) for a = 0..6: 0,1,1,-1,1,-1,-1 *)
+        List.iteri
+          (fun a expected ->
+            check Alcotest.int
+              (Printf.sprintf "(%d|7)" a)
+              expected
+              (Modular.jacobi (Nat.of_int a) (Nat.of_int 7)))
+          [ 0; 1; 1; -1; 1; -1; -1 ]);
+    case "jacobi of composite: (2|15) = 1 though 2 is not a QR" (fun () ->
+        check Alcotest.int "(2|15)" 1 (Modular.jacobi Nat.two (Nat.of_int 15)));
+    case "jacobi equals euler criterion on a prime" (fun () ->
+        let p = Nat.of_decimal "1000000007" in
+        let ctx = Modular.create p in
+        let e = Nat.shift_right (Nat.sub p Nat.one) 1 in
+        let bs = Util.fresh_bs "jacobi" in
+        for _ = 1 to 60 do
+          let a = Nat.random_below ~bytes_source:bs p in
+          let euler =
+            if Nat.is_zero a then 0
+            else if Nat.is_one (Modular.pow ctx a e) then 1
+            else -1
+          in
+          if Modular.jacobi a p <> euler then
+            Alcotest.failf "mismatch at %s" (Nat.to_decimal a)
+        done);
+    case "jacobi multiplicativity in the numerator" (fun () ->
+        let n = Nat.of_int 1009 in
+        List.iter
+          (fun (a, b) ->
+            check Alcotest.int "mult"
+              (Modular.jacobi (Nat.of_int a) n * Modular.jacobi (Nat.of_int b) n)
+              (Modular.jacobi (Nat.of_int (a * b)) n))
+          [ 2, 3; 5, 7; 10, 100; 17, 59 ]);
+  ]
+
+let suite =
+  unit_tests @ property_tests @ montgomery_tests @ montgomery_property_tests
+  @ jacobi_tests

@@ -1,0 +1,144 @@
+open Sc_bignum
+open Sc_ec
+module Params = Sc_pairing.Params
+module Tate = Sc_pairing.Tate
+module Hash_g1 = Sc_pairing.Hash_g1
+
+let prm = Lazy.force Util.toy_params
+let g = prm.Params.g
+let bs = Util.fresh_bs "pairing-tests"
+let gt = Alcotest.testable Sc_field.Fp2.pp Tate.gt_equal
+
+let gen_scalar =
+  let open QCheck2.Gen in
+  let* bytes = string_size ~gen:char (return 16) in
+  return (Nat.add Nat.one (Nat.rem (Nat.of_bytes_be bytes) (Nat.sub prm.Params.q Nat.two)))
+
+let unit_tests =
+  let open Util in
+  [
+    case "parameter structure" (fun () ->
+        check Alcotest.bool "p = 3 mod 4" true (Nat.rem_int prm.Params.p 4 = 3);
+        check Alcotest.bool "p+1 = c*q" true
+          (Nat.equal (Nat.add prm.Params.p Nat.one)
+             (Nat.mul prm.Params.cofactor prm.Params.q));
+        check Alcotest.bool "generator in subgroup" true
+          (Params.in_subgroup prm g));
+    case "non-degeneracy: e(G,G) != 1" (fun () ->
+        check Alcotest.bool "nondegen" false
+          (Tate.gt_is_one (Tate.pairing prm g g)));
+    case "pairing with infinity is 1" (fun () ->
+        check gt "e(O,G)" Tate.gt_one (Tate.pairing prm Curve.infinity g);
+        check gt "e(G,O)" Tate.gt_one (Tate.pairing prm g Curve.infinity));
+    case "gt element has order q" (fun () ->
+        let e = Tate.pairing prm g g in
+        check gt "e^q = 1" Tate.gt_one (Tate.gt_pow prm e prm.Params.q);
+        (* and not smaller obvious order *)
+        check Alcotest.bool "e^2 != 1" false
+          (Tate.gt_is_one (Tate.gt_pow prm e Nat.two)));
+    case "symmetry: e(aG, bG) = e(bG, aG)" (fun () ->
+        let a = Params.random_scalar prm ~bytes_source:bs in
+        let b = Params.random_scalar prm ~bytes_source:bs in
+        let pa = Curve.mul prm.Params.curve a g in
+        let pb = Curve.mul prm.Params.curve b g in
+        check gt "symmetric" (Tate.pairing prm pa pb) (Tate.pairing prm pb pa));
+    case "known bilinearity identity e(2G,3G) = e(G,G)^6" (fun () ->
+        let p2 = Curve.mul_int prm.Params.curve 2 g in
+        let p3 = Curve.mul_int prm.Params.curve 3 g in
+        check gt "2*3"
+          (Tate.gt_pow prm (Tate.pairing prm g g) (Nat.of_int 6))
+          (Tate.pairing prm p2 p3));
+    case "gt inverse by conjugation" (fun () ->
+        let e = Tate.pairing prm g g in
+        check gt "e * conj(e) = 1" Tate.gt_one (Tate.gt_mul prm e (Tate.gt_inv prm e)));
+    case "gt serialization round trip" (fun () ->
+        let e = Tate.pairing prm g g in
+        match Tate.gt_of_bytes prm (Tate.gt_to_bytes prm e) with
+        | Some e' -> check gt "round trip" e e'
+        | None -> Alcotest.fail "decode failed");
+    case "gt_of_bytes rejects wrong length" (fun () ->
+        check Alcotest.bool "short rejected" true
+          (Tate.gt_of_bytes prm "abc" = None));
+    case "hash_to_point deterministic, in subgroup, distinct" (fun () ->
+        let h1 = Hash_g1.hash_to_point prm "msg-1" in
+        let h1' = Hash_g1.hash_to_point prm "msg-1" in
+        let h2 = Hash_g1.hash_to_point prm "msg-2" in
+        check Alcotest.bool "deterministic" true (Curve.equal h1 h1');
+        check Alcotest.bool "distinct" false (Curve.equal h1 h2);
+        check Alcotest.bool "subgroup" true (Params.in_subgroup prm h1);
+        check Alcotest.bool "not infinity" false (Curve.is_infinity h1));
+    case "hash_to_scalar lands in [1, q)" (fun () ->
+        for i = 0 to 30 do
+          let s = Hash_g1.hash_to_scalar prm (string_of_int i) in
+          if Nat.is_zero s || Nat.compare s prm.Params.q >= 0
+          then Alcotest.fail "out of range"
+        done);
+    case "pairing of hashed points is non-degenerate" (fun () ->
+        let h1 = Hash_g1.hash_to_point prm "a" in
+        let h2 = Hash_g1.hash_to_point prm "b" in
+        check Alcotest.bool "nontrivial" false
+          (Tate.gt_is_one (Tate.pairing prm h1 h2)));
+    case "pairing counter increments" (fun () ->
+        Tate.reset_pairing_count ();
+        ignore (Tate.pairing prm g g);
+        ignore (Tate.pairing prm g g);
+        check Alcotest.int "2 pairings" 2 (Tate.pairings_performed ()));
+    case "generate with explicit bits_p" (fun () ->
+        let drbg = Sc_hash.Drbg.create ~seed:"gen-test" in
+        let p =
+          Params.generate ~bits_p:96 ~bits_q:48
+            ~bytes_source:(Sc_hash.Drbg.bytes_source drbg) ()
+        in
+        check Alcotest.int "p bits" 96 (Nat.bit_length p.Params.p);
+        check Alcotest.int "q bits" 48 (Nat.bit_length p.Params.q);
+        check Alcotest.bool "pairing works" false
+          (Tate.gt_is_one (Tate.pairing p p.Params.g p.Params.g)));
+    case "projective Miller loop matches affine reference" (fun () ->
+        for i = 1 to 8 do
+          let a = Params.random_scalar prm ~bytes_source:bs in
+          let b = Params.random_scalar prm ~bytes_source:bs in
+          let pa = Curve.mul prm.Params.curve a g in
+          let pb = Curve.mul prm.Params.curve b g in
+          if
+            not
+              (Tate.gt_equal (Tate.pairing prm pa pb)
+                 (Tate.pairing_affine prm pa pb))
+          then Alcotest.failf "mismatch at sample %d" i
+        done;
+        check gt "also at the generator" (Tate.pairing prm g g)
+          (Tate.pairing_affine prm g g));
+    case "of_hex validates structure" (fun () ->
+        Alcotest.check_raises "bad cofactor"
+          (Invalid_argument "Params: p + 1 <> cofactor * q") (fun () ->
+            ignore
+              (Params.of_hex ~p:(Nat.to_hex prm.Params.p)
+                 ~q:(Nat.to_hex prm.Params.q) ~cofactor:"5" ~gx:"1" ~gy:"1")));
+  ]
+
+let property_tests =
+  let open Util in
+  [
+    qcheck ~count:15 "bilinearity e(aG,bG) = e(G,G)^(ab)"
+      (QCheck2.Gen.pair gen_scalar gen_scalar) (fun (a, b) ->
+        let pa = Curve.mul prm.Params.curve a g in
+        let pb = Curve.mul prm.Params.curve b g in
+        let lhs = Tate.pairing prm pa pb in
+        let rhs =
+          Tate.gt_pow prm (Tate.pairing prm g g)
+            (Nat.rem (Nat.mul a b) prm.Params.q)
+        in
+        Tate.gt_equal lhs rhs);
+    qcheck ~count:15 "left linearity e(aG,Q) = e(G,Q)^a" gen_scalar (fun a ->
+        let pa = Curve.mul prm.Params.curve a g in
+        let h = Hash_g1.hash_to_point prm "fixed" in
+        Tate.gt_equal (Tate.pairing prm pa h)
+          (Tate.gt_pow prm (Tate.pairing prm g h) a));
+    qcheck ~count:15 "gt_pow additive in exponent"
+      (QCheck2.Gen.pair gen_scalar gen_scalar) (fun (a, b) ->
+        let e = Tate.pairing prm g g in
+        Tate.gt_equal
+          (Tate.gt_mul prm (Tate.gt_pow prm e a) (Tate.gt_pow prm e b))
+          (Tate.gt_pow prm e (Nat.rem (Nat.add a b) prm.Params.q)));
+  ]
+
+let suite = unit_tests @ property_tests

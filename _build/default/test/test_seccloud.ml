@@ -1,0 +1,241 @@
+(* End-to-end tests of the top-level orchestration API. *)
+
+let fresh_system tag =
+  Seccloud.System.create ~params:Sc_pairing.Params.toy ~seed:("sys:" ^ tag)
+    ~cs_ids:[ "cs-1"; "cs-2" ] ~da_id:"da" ()
+
+let payloads n =
+  List.init n (fun i -> Sc_storage.Block.encode_ints [ i; i + 10; i * 2 ])
+
+let da_of system = Seccloud.Agency.create system
+
+let unit_tests =
+  let open Util in
+  [
+    case "system setup extracts consistent keys" (fun () ->
+        let system = fresh_system "setup" in
+        let pub = Seccloud.System.public system in
+        check Alcotest.bool "da key valid" true
+          (Sc_ibc.Setup.valid_key pub (Seccloud.System.da_key system));
+        check Alcotest.bool "cs key valid" true
+          (Sc_ibc.Setup.valid_key pub (Seccloud.System.cs_key system "cs-1"));
+        check Alcotest.(list string) "cs ids" [ "cs-1"; "cs-2" ]
+          (Seccloud.System.cs_ids system));
+    case "register_user is idempotent" (fun () ->
+        let system = fresh_system "reg" in
+        let k1 = Seccloud.System.register_user system "alice" in
+        let k2 = Seccloud.System.register_user system "alice" in
+        check Alcotest.bool "same key" true
+          (Sc_ec.Curve.equal k1.Sc_ibc.Setup.sk k2.Sc_ibc.Setup.sk));
+    case "unknown server id raises" (fun () ->
+        let system = fresh_system "unknown" in
+        Alcotest.check_raises "not found" Not_found (fun () ->
+            ignore (Seccloud.System.cs_key system "cs-99")));
+    case "store + storage audit round trip" (fun () ->
+        let system = fresh_system "store" in
+        let user = Seccloud.User.create system ~id:"alice" in
+        let cloud = Seccloud.Cloud.create system ~id:"cs-1" () in
+        let da = Seccloud.Agency.create system in
+        check Alcotest.bool "accepted" true
+          (Seccloud.User.store user cloud ~file:"f" (payloads 24));
+        let r = Seccloud.Agency.audit_storage da cloud ~owner:"alice" ~file:"f" ~samples:10 in
+        check Alcotest.bool "intact" true r.Seccloud.Agency.intact;
+        check Alcotest.int "sampled" 10 r.Seccloud.Agency.sampled);
+    case "batched storage audit agrees with individual" (fun () ->
+        let system = fresh_system "batchagree" in
+        let user = Seccloud.User.create system ~id:"alice" in
+        let da = Seccloud.Agency.create system in
+        List.iter
+          (fun storage ->
+            let cloud = Seccloud.Cloud.create system ~id:"cs-1" ~storage () in
+            Seccloud.Cloud.accept_upload_unchecked cloud
+              (Seccloud.User.sign_file user ~cs_id:"cs-1" ~file:"f" (payloads 24));
+            let a =
+              Seccloud.Agency.audit_storage da cloud ~owner:"alice" ~file:"f"
+                ~samples:24
+            in
+            let b =
+              Seccloud.Agency.audit_storage_batched da cloud ~owner:"alice"
+                ~file:"f" ~samples:24
+            in
+            check Alcotest.bool "same verdict" a.Seccloud.Agency.intact
+              b.Seccloud.Agency.intact)
+          [ Sc_storage.Server.Honest; Sc_storage.Server.Corrupt_fraction 0.4 ]);
+    case "corrupting server fails storage audit" (fun () ->
+        let system = fresh_system "corrupt" in
+        let user = Seccloud.User.create system ~id:"alice" in
+        let cloud =
+          Seccloud.Cloud.create system ~id:"cs-1"
+            ~storage:(Sc_storage.Server.Corrupt_fraction 0.6) ()
+        in
+        Seccloud.Cloud.accept_upload_unchecked cloud
+          (Seccloud.User.sign_file user ~cs_id:"cs-1" ~file:"f" (payloads 24));
+        let r =
+          Seccloud.Agency.audit_storage (da_of system) cloud ~owner:"alice"
+            ~file:"f" ~samples:24
+        in
+        check Alcotest.bool "caught" false r.Seccloud.Agency.intact;
+        check Alcotest.bool "culprits named" true
+          (r.Seccloud.Agency.invalid_indices <> []));
+    case "audit of missing file is not intact" (fun () ->
+        let system = fresh_system "missing" in
+        let cloud = Seccloud.Cloud.create system ~id:"cs-1" () in
+        let da = Seccloud.Agency.create system in
+        let r = Seccloud.Agency.audit_storage da cloud ~owner:"alice" ~file:"ghost" ~samples:5 in
+        check Alcotest.bool "not intact" false r.Seccloud.Agency.intact);
+    case "honest server rejects a tampered upload" (fun () ->
+        let system = fresh_system "tamper" in
+        let user = Seccloud.User.create system ~id:"alice" in
+        let cloud = Seccloud.Cloud.create system ~id:"cs-1" () in
+        let upload = Seccloud.User.sign_file user ~cs_id:"cs-1" ~file:"f" (payloads 4) in
+        let sb = upload.Sc_storage.Signer.blocks.(0) in
+        upload.Sc_storage.Signer.blocks.(0) <-
+          { sb with Sc_storage.Signer.block =
+              { sb.Sc_storage.Signer.block with Sc_storage.Block.data = "evil" } };
+        check Alcotest.bool "rejected" false (Seccloud.Cloud.accept_upload cloud upload));
+    case "computation audit end-to-end honest" (fun () ->
+        let system = fresh_system "comp" in
+        let user = Seccloud.User.create system ~id:"alice" in
+        let cloud = Seccloud.Cloud.create system ~id:"cs-1" () in
+        let da = Seccloud.Agency.create system in
+        assert (Seccloud.User.store user cloud ~file:"f" (payloads 24));
+        let drbg = Sc_hash.Drbg.create ~seed:"svc" in
+        let service = Sc_compute.Task.random_service ~drbg ~n_positions:24 ~n_tasks:12 in
+        let execution = Seccloud.Cloud.execute cloud ~owner:"alice" ~file:"f" service in
+        let warrant = Seccloud.User.delegate_audit user ~now:0.0 ~lifetime:100.0 ~scope:"t" in
+        let v =
+          Seccloud.Agency.audit_computation da cloud ~owner:"alice" ~execution
+            ~warrant ~now:50.0 ~samples:8
+        in
+        check Alcotest.bool "valid" true v.Sc_audit.Protocol.valid);
+    case "multi-user batched computation audit" (fun () ->
+        let system = fresh_system "multi" in
+        let da = Seccloud.Agency.create system in
+        let cloud = Seccloud.Cloud.create system ~id:"cs-1" () in
+        let drbg = Sc_hash.Drbg.create ~seed:"svc2" in
+        let jobs =
+          List.map
+            (fun name ->
+              let user = Seccloud.User.create system ~id:name in
+              assert (Seccloud.User.store user cloud ~file:(name ^ "-f") (payloads 16));
+              let service =
+                Sc_compute.Task.random_service ~drbg ~n_positions:16 ~n_tasks:8
+              in
+              let execution =
+                Seccloud.Cloud.execute cloud ~owner:name ~file:(name ^ "-f") service
+              in
+              let warrant =
+                Seccloud.User.delegate_audit user ~now:0.0 ~lifetime:100.0 ~scope:"t"
+              in
+              cloud, name, execution, warrant)
+            [ "alice"; "bob"; "carol" ]
+        in
+        let v = Seccloud.Agency.audit_computation_batched da jobs ~now:10.0 ~samples:5 in
+        check Alcotest.bool "valid" true v.Sc_audit.Protocol.valid);
+    case "choose_sample_size matches sampling module" (fun () ->
+        check Alcotest.int "t=33-ish" 33
+          (Seccloud.Agency.choose_sample_size ~range:2.0 ~csc:0.5 ~ssc:0.5 ()));
+  ]
+
+let distributed_tests =
+  let open Util in
+  let module D = Seccloud.Distributed in
+  let module Task = Sc_compute.Task in
+  let setup ?(cheat = None) tag n_clouds =
+    let ids = List.init n_clouds (Printf.sprintf "cs-%d") in
+    let system =
+      Seccloud.System.create ~params:Sc_pairing.Params.toy ~seed:("dist:" ^ tag)
+        ~cs_ids:ids ~da_id:"da" ()
+    in
+    let user = Seccloud.User.create system ~id:"alice" in
+    let clouds =
+      List.mapi
+        (fun i id ->
+          match cheat with
+          | Some (bad_index, compute) when i = bad_index ->
+            Seccloud.Cloud.create system ~id ~compute ()
+          | Some _ | None -> Seccloud.Cloud.create system ~id ())
+        ids
+    in
+    system, user, clouds
+  in
+  let payloads = List.init 20 (fun i -> Sc_storage.Block.encode_ints [ i; i + 1 ]) in
+  [
+    case "plan partitions every sub-task exactly once" (fun () ->
+        let _, _, clouds = setup "plan" 3 in
+        let service = List.init 10 (fun i -> { Task.func = Task.Sum; position = i }) in
+        let shards = D.plan ~clouds service in
+        check Alcotest.int "3 shards" 3 (List.length shards);
+        let all =
+          List.concat_map
+            (fun s -> Array.to_list s.D.original_indices)
+            shards
+        in
+        check Alcotest.(list int) "coverage" (List.init 10 Fun.id)
+          (List.sort compare all));
+    case "plan with more clouds than tasks drops idle clouds" (fun () ->
+        let _, _, clouds = setup "idle" 5 in
+        let service = List.init 2 (fun i -> { Task.func = Task.Sum; position = i }) in
+        check Alcotest.int "2 shards" 2 (List.length (D.plan ~clouds service)));
+    case "distributed results equal single-server results" (fun () ->
+        let _, user, clouds = setup "equal" 3 in
+        assert (D.store_replicated user clouds ~file:"d" payloads);
+        let service =
+          List.init 12 (fun i ->
+              { Task.func = (if i mod 2 = 0 then Task.Sum else Task.Max); position = i })
+        in
+        let dist = D.execute ~owner:"alice" ~file:"d" (D.plan ~clouds service) in
+        let single =
+          Seccloud.Cloud.execute (List.hd clouds) ~owner:"alice" ~file:"d" service
+        in
+        check Alcotest.(array int) "same results"
+          (Sc_compute.Executor.results single)
+          (D.results dist));
+    case "map_reduce computes the expected aggregate" (fun () ->
+        let _, user, clouds = setup "mr" 2 in
+        assert (D.store_replicated user clouds ~file:"d" payloads);
+        (* Sum of block sums over positions 0..9: block i holds
+           [i; i+1], so total = Σ (2i + 1) for i in 0..9 = 100. *)
+        match
+          D.map_reduce ~owner:"alice" ~file:"d" ~clouds ~map:Task.Sum
+            ~positions:(List.init 10 Fun.id) ~reduce:Task.Sum
+        with
+        | Ok (total, _) -> check Alcotest.int "total" 100 total
+        | Error e -> Alcotest.fail e);
+    case "batched audit passes over honest shards" (fun () ->
+        let system, user, clouds = setup "audit" 3 in
+        let da = Seccloud.Agency.create system in
+        assert (D.store_replicated user clouds ~file:"d" payloads);
+        let service = List.init 9 (fun i -> { Task.func = Task.Sum; position = i }) in
+        let dist = D.execute ~owner:"alice" ~file:"d" (D.plan ~clouds service) in
+        let warrant =
+          Seccloud.User.delegate_audit user ~now:0.0 ~lifetime:1e9 ~scope:"d"
+        in
+        let v = D.audit da dist ~warrant ~now:1.0 ~samples_per_shard:3 in
+        check Alcotest.bool "valid" true v.Sc_audit.Protocol.valid);
+    case "one cheating shard fails the whole distributed audit" (fun () ->
+        let system, user, clouds =
+          setup
+            ~cheat:(Some (1, Sc_compute.Executor.Guess_fraction (1.0, 1 lsl 30)))
+            "cheat" 3
+        in
+        let da = Seccloud.Agency.create system in
+        assert (D.store_replicated user clouds ~file:"d" payloads);
+        let service = List.init 9 (fun i -> { Task.func = Task.Sum; position = i }) in
+        let dist = D.execute ~owner:"alice" ~file:"d" (D.plan ~clouds service) in
+        let warrant =
+          Seccloud.User.delegate_audit user ~now:0.0 ~lifetime:1e9 ~scope:"d"
+        in
+        let v = D.audit da dist ~warrant ~now:1.0 ~samples_per_shard:3 in
+        check Alcotest.bool "invalid" false v.Sc_audit.Protocol.valid);
+    case "plan rejects degenerate inputs" (fun () ->
+        let _, _, clouds = setup "degenerate" 2 in
+        Alcotest.check_raises "no clouds"
+          (Invalid_argument "Distributed.plan: no clouds") (fun () ->
+            ignore (D.plan ~clouds:[] [ { Task.func = Task.Sum; position = 0 } ]));
+        Alcotest.check_raises "empty service"
+          (Invalid_argument "Distributed.plan: empty service") (fun () ->
+            ignore (D.plan ~clouds [])));
+  ]
+
+let suite = unit_tests @ distributed_tests

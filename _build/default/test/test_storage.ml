@@ -1,0 +1,293 @@
+open Sc_storage
+
+let system = Lazy.force Util.shared_system
+let pub = Seccloud.System.public system
+let da_key = Seccloud.System.da_key system
+let cs_key = Seccloud.System.cs_key system "cs-1"
+let alice = Seccloud.System.register_user system "alice"
+let bs = Util.fresh_bs "storage-tests"
+
+let payloads = List.init 16 (fun i -> Block.encode_ints [ i; i + 1; i + 2 ])
+
+let make_upload () =
+  Signer.sign_file pub alice ~bytes_source:bs ~cs_id:"cs-1" ~da_id:"da"
+    ~file:"doc" payloads
+
+let fresh_server behaviour =
+  let server = Server.create behaviour ~drbg:(Sc_hash.Drbg.create ~seed:"srv") in
+  Server.store server (make_upload ());
+  server
+
+let block_tests =
+  let open Util in
+  [
+    case "encode/decode ints round trip" (fun () ->
+        List.iter
+          (fun ints ->
+            check
+              Alcotest.(option (list int))
+              "round trip" (Some ints)
+              (Block.decode_ints (Block.encode_ints ints)))
+          [ []; [ 0 ]; [ 1; 2; 3 ]; [ -5; 0; 42; max_int ] ]);
+    case "decode rejects garbage" (fun () ->
+        check Alcotest.(option (list int)) "garbage" None (Block.decode_ints "1,x,3"));
+    case "signing message binds file, index and data" (fun () ->
+        let b = { Block.file = "f"; index = 3; data = "d" } in
+        let variants =
+          [
+            { b with Block.file = "g" };
+            { b with Block.index = 4 };
+            { b with Block.data = "e" };
+          ]
+        in
+        List.iter
+          (fun v ->
+            if String.equal (Block.signing_message b) (Block.signing_message v)
+            then Alcotest.fail "collision")
+          variants);
+  ]
+
+let signer_tests =
+  let open Util in
+  [
+    case "signed blocks verify for both designated parties" (fun () ->
+        let upload = make_upload () in
+        Array.iter
+          (fun (sb : Signer.signed_block) ->
+            check Alcotest.bool "cs" true
+              (Signer.verify_block pub ~verifier_key:cs_key ~role:`Cs
+                 ~owner:"alice" sb.Signer.block sb);
+            check Alcotest.bool "da" true
+              (Signer.verify_block pub ~verifier_key:da_key ~role:`Da
+                 ~owner:"alice" sb.Signer.block sb))
+          upload.Signer.blocks);
+    case "verification fails for tampered payload" (fun () ->
+        let upload = make_upload () in
+        let sb = upload.Signer.blocks.(2) in
+        let forged = { sb.Signer.block with Block.data = "other" } in
+        check Alcotest.bool "tampered" false
+          (Signer.verify_block pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+             forged sb));
+    case "verification fails for shifted position" (fun () ->
+        let upload = make_upload () in
+        let sb = upload.Signer.blocks.(2) in
+        let moved = { sb.Signer.block with Block.index = 5 } in
+        check Alcotest.bool "moved" false
+          (Signer.verify_block pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+             moved sb));
+    case "verification fails for wrong owner" (fun () ->
+        let upload = make_upload () in
+        let sb = upload.Signer.blocks.(0) in
+        check Alcotest.bool "wrong owner" false
+          (Signer.verify_block pub ~verifier_key:da_key ~role:`Da ~owner:"bob"
+             sb.Signer.block sb));
+    case "role projection picks matching sigma" (fun () ->
+        let upload = make_upload () in
+        let sb = upload.Signer.blocks.(0) in
+        let dcs = Signer.dvs_for `Cs sb and dda = Signer.dvs_for `Da sb in
+        check Alcotest.bool "distinct designations" false
+          (Sc_pairing.Tate.gt_equal dcs.Sc_ibc.Dvs.sigma dda.Sc_ibc.Dvs.sigma));
+  ]
+
+let server_tests =
+  let open Util in
+  [
+    case "honest server serves verifiable blocks" (fun () ->
+        let server = fresh_server Server.Honest in
+        for i = 0 to 15 do
+          match Server.read server ~file:"doc" ~index:i with
+          | None -> Alcotest.fail "missing block"
+          | Some { Server.claimed; signed } ->
+            check Alcotest.bool "verifies" true
+              (Signer.verify_block pub ~verifier_key:da_key ~role:`Da
+                 ~owner:"alice" claimed signed)
+        done);
+    case "unknown file and out-of-range index give None" (fun () ->
+        let server = fresh_server Server.Honest in
+        check Alcotest.bool "no file" true
+          (Server.read server ~file:"nope" ~index:0 = None);
+        check Alcotest.bool "oob" true
+          (Server.read server ~file:"doc" ~index:99 = None));
+    case "delete-fraction server gets caught on some blocks" (fun () ->
+        let server = fresh_server (Server.Delete_fraction 0.5) in
+        let failures = ref 0 in
+        for i = 0 to 15 do
+          match Server.read server ~file:"doc" ~index:i with
+          | None -> incr failures
+          | Some { Server.claimed; signed } ->
+            if
+              not
+                (Signer.verify_block pub ~verifier_key:da_key ~role:`Da
+                   ~owner:"alice" claimed signed)
+            then incr failures
+        done;
+        check Alcotest.bool "some deleted blocks detected" true (!failures > 0));
+    case "corrupt-fraction server gets caught" (fun () ->
+        let server = fresh_server (Server.Corrupt_fraction 0.5) in
+        let failures = ref 0 in
+        for i = 0 to 15 do
+          match Server.read server ~file:"doc" ~index:i with
+          | Some { Server.claimed; signed } ->
+            if
+              not
+                (Signer.verify_block pub ~verifier_key:da_key ~role:`Da
+                   ~owner:"alice" claimed signed)
+            then incr failures
+          | None -> incr failures
+        done;
+        check Alcotest.bool "detected" true (!failures > 0));
+    case "substitute-fraction serves wrong positions detectably" (fun () ->
+        let server = fresh_server (Server.Substitute_fraction 0.8) in
+        let mismatches = ref 0 in
+        for i = 0 to 15 do
+          match Server.read server ~file:"doc" ~index:i with
+          | Some { Server.claimed; signed } ->
+            (* Either the signature fails outright or the claimed index
+               disagrees with what was signed. *)
+            let sig_ok =
+              Signer.verify_block pub ~verifier_key:da_key ~role:`Da
+                ~owner:"alice" claimed signed
+            in
+            if not sig_ok then incr mismatches
+          | None -> incr mismatches
+        done;
+        check Alcotest.bool "detected" true (!mismatches > 0));
+    case "cheating is sticky per position" (fun () ->
+        let server = fresh_server (Server.Corrupt_fraction 0.5) in
+        for i = 0 to 15 do
+          let r1 = Server.read server ~file:"doc" ~index:i in
+          let r2 = Server.read server ~file:"doc" ~index:i in
+          match r1, r2 with
+          | Some a, Some b ->
+            check Alcotest.string "stable answer" a.Server.claimed.Block.data
+              b.Server.claimed.Block.data
+          | None, None -> ()
+          | Some _, None | None, Some _ -> Alcotest.fail "flapping"
+        done);
+    case "read_honest bypasses cheating" (fun () ->
+        let server = fresh_server (Server.Corrupt_fraction 1.0) in
+        for i = 0 to 15 do
+          match Server.read_honest server ~file:"doc" ~index:i with
+          | None -> Alcotest.fail "missing"
+          | Some { Server.claimed; signed } ->
+            check Alcotest.bool "clean" true
+              (Signer.verify_block pub ~verifier_key:da_key ~role:`Da
+                 ~owner:"alice" claimed signed)
+        done);
+    case "storage_confidence reflects behaviour" (fun () ->
+        let eps = 1e-9 in
+        let close a b = Float.abs (a -. b) < eps in
+        check Alcotest.bool "honest" true
+          (close 1.0 (Server.storage_confidence (fresh_server Server.Honest)));
+        check Alcotest.bool "delete 0.3" true
+          (close 0.7
+             (Server.storage_confidence (fresh_server (Server.Delete_fraction 0.3)))));
+    case "file listing and size" (fun () ->
+        let server = fresh_server Server.Honest in
+        check Alcotest.(list string) "files" [ "doc" ] (Server.files server);
+        check Alcotest.(option int) "size" (Some 16) (Server.file_size server "doc"));
+  ]
+
+let dynamic_tests =
+  let open Util in
+  let module D = Dynamic in
+  let fresh tag n =
+    D.init pub alice ~bytes_source:(Util.fresh_bs ("dyn:" ^ tag)) ~cs_id:"cs-1"
+      ~da_id:"da" ~file:"dynfile"
+      (List.init n (Printf.sprintf "payload-%d"))
+  in
+  [
+    case "init: client and server agree on the root" (fun () ->
+        let client, server = fresh "init" 9 in
+        check Alcotest.string "roots" (D.root client) (D.server_root server);
+        check Alcotest.int "count" 9 (D.count client));
+    case "init rejects empty file" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Dynamic.init: empty payload list") (fun () ->
+            ignore (fresh "empty" 0)));
+    case "reads verify against the client root" (fun () ->
+        let client, server = fresh "reads" 7 in
+        for i = 0 to 6 do
+          match D.read server i with
+          | None -> Alcotest.fail "missing"
+          | Some rp ->
+            check Alcotest.bool "ok" true (D.verify_read client ~index:i rp)
+        done;
+        check Alcotest.bool "oob read" true (D.read server 7 = None));
+    case "update bumps version and moves both roots" (fun () ->
+        let client, server = fresh "update" 8 in
+        let old_root = D.root client in
+        check Alcotest.bool "accepted" true (D.update client server ~index:5 "v1!");
+        check Alcotest.bool "root changed" false (String.equal old_root (D.root client));
+        check Alcotest.string "in sync" (D.root client) (D.server_root server);
+        match D.read server 5 with
+        | Some rp ->
+          check Alcotest.string "payload" "v1!" rp.D.payload;
+          check Alcotest.int "version" 1 rp.D.version;
+          check Alcotest.bool "verifies" true (D.verify_read client ~index:5 rp)
+        | None -> Alcotest.fail "missing");
+    case "stale read proof fails after update (replay protection)" (fun () ->
+        let client, server = fresh "stale" 6 in
+        let stale = Option.get (D.read server 2) in
+        assert (D.update client server ~index:2 "fresh");
+        check Alcotest.bool "stale rejected" false
+          (D.verify_read client ~index:2 stale));
+    case "append extends the file verifiably" (fun () ->
+        let client, server = fresh "append" 5 in
+        check Alcotest.bool "accepted" true (D.append client server "extra-1");
+        check Alcotest.bool "accepted" true (D.append client server "extra-2");
+        check Alcotest.int "count" 7 (D.count client);
+        check Alcotest.string "in sync" (D.root client) (D.server_root server);
+        match D.read server 6 with
+        | Some rp ->
+          check Alcotest.string "payload" "extra-2" rp.D.payload;
+          check Alcotest.bool "verifies" true (D.verify_read client ~index:6 rp)
+        | None -> Alcotest.fail "missing");
+    case "delete tombstones a block" (fun () ->
+        let client, server = fresh "delete" 5 in
+        check Alcotest.bool "accepted" true (D.delete client server ~index:1);
+        let rp = Option.get (D.read server 1) in
+        check Alcotest.bool "tombstoned" true (D.is_deleted rp);
+        check Alcotest.bool "still authenticated" true
+          (D.verify_read client ~index:1 rp));
+    case "DA audit passes on an honest dynamic server" (fun () ->
+        let client, server = fresh "audit" 12 in
+        assert (D.update client server ~index:3 "updated");
+        assert (D.append client server "appended");
+        let stmt = D.publish_root client ~bytes_source:(Util.fresh_bs "rootsig") in
+        let rep =
+          D.audit pub ~verifier_key:da_key ~owner:"alice" ~file:"dynfile"
+            ~root_statement:stmt server
+            ~drbg:(Sc_hash.Drbg.create ~seed:"da-dyn") ~samples:13
+        in
+        check Alcotest.bool "intact" true rep.D.intact;
+        check Alcotest.int "all sampled" 13 rep.D.sampled);
+    case "DA audit catches server-side tampering" (fun () ->
+        let client, server = fresh "tamper" 10 in
+        let stmt = D.publish_root client ~bytes_source:(Util.fresh_bs "rootsig2") in
+        (* The server's state drifts from the published root (it
+           accepted an update the statement does not cover): paths no
+           longer land on the stated root. *)
+        ignore (D.update client server ~index:0 "x");
+        let rep =
+          D.audit pub ~verifier_key:da_key ~owner:"alice" ~file:"dynfile"
+            ~root_statement:stmt server
+            ~drbg:(Sc_hash.Drbg.create ~seed:"da-dyn2") ~samples:10
+        in
+        check Alcotest.bool "caught" false rep.D.intact);
+    case "DA audit rejects a forged root statement" (fun () ->
+        let client, server = fresh "forge" 6 in
+        let stmt, _sig = D.publish_root client ~bytes_source:(Util.fresh_bs "r3") in
+        let bogus_sig =
+          Sc_ibc.Ibs.sign pub da_key ~bytes_source:(Util.fresh_bs "r4") stmt
+        in
+        let rep =
+          D.audit pub ~verifier_key:da_key ~owner:"alice" ~file:"dynfile"
+            ~root_statement:(stmt, bogus_sig) server
+            ~drbg:(Sc_hash.Drbg.create ~seed:"da-dyn3") ~samples:3
+        in
+        check Alcotest.bool "rejected" false rep.D.intact;
+        check Alcotest.int "nothing sampled" 0 rep.D.sampled);
+  ]
+
+let suite = block_tests @ signer_tests @ server_tests @ dynamic_tests
