@@ -1,0 +1,26 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: build test bench bench-check repro clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full bechamel microbenchmark run (slow).
+bench:
+	dune exec bench/main.exe
+
+# One command between you and a perf regression: build, run the tier-1
+# suite, then the quick pairing bench (writes BENCH_pairing.json).
+bench-check:
+	dune build
+	dune runtest
+	dune exec bench/quick.exe
+
+repro:
+	dune exec bin/repro.exe -- all
+
+clean:
+	dune clean

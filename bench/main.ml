@@ -44,6 +44,18 @@ let table1_tests =
       (Staged.stage (fun () -> Tate.pairing prm g g));
     Test.make ~name:"table1/pairing(small)"
       (Staged.stage (fun () -> Tate.pairing prm_small gs gs));
+    Test.make ~name:"table1/pairing_affine(toy)"
+      (Staged.stage (fun () -> Tate.pairing_affine prm g g));
+    Test.make ~name:"table1/multi_pairing_8(small)"
+      (Staged.stage
+         (let pairs8 =
+            List.init 8 (fun _ ->
+                let a = Params.random_scalar prm_small ~bytes_source:bs in
+                let b = Params.random_scalar prm_small ~bytes_source:bs in
+                ( Curve.mul prm_small.Params.curve a gs,
+                  Curve.mul prm_small.Params.curve b gs ))
+          in
+          fun () -> Tate.multi_pairing prm_small pairs8));
     Test.make ~name:"table1/hash_to_g1(toy)"
       (Staged.stage (fun () -> Sc_pairing.Hash_g1.hash_to_point prm "bench"));
     Test.make ~name:"table1/sha256_1k"
@@ -83,6 +95,17 @@ let table2_tests =
            Sc_bls.Bls.verify prm bls_kp.Sc_bls.Bls.pk "msg" bls_sig));
     Test.make ~name:"table2/ibs_sign"
       (Staged.stage (fun () -> Sc_ibc.Ibs.sign pub alice ~bytes_source:bs "msg"));
+    Test.make ~name:"table2/ibs_verify"
+      (Staged.stage (fun () ->
+           Sc_ibc.Ibs.verify pub ~signer:"alice" ~msg:"msg" raw));
+    Test.make ~name:"table2/ibs_verify_batch_10"
+      (Staged.stage
+         (let entries =
+            List.init 10 (fun i ->
+                let m = Printf.sprintf "vb-%d" i in
+                "alice", m, Sc_ibc.Ibs.sign pub alice ~bytes_source:bs m)
+          in
+          fun () -> Sc_ibc.Ibs.verify_batch pub entries));
     Test.make ~name:"table2/dvs_verify"
       (Staged.stage (fun () ->
            Sc_ibc.Dvs.verify pub ~verifier_key:da_key ~signer:"alice" ~msg:"msg"

@@ -1,0 +1,73 @@
+(* Quick, machine-readable perf tracking: times the pairing hot path
+   and writes BENCH_pairing.json (ns/op per benchmark) so the perf
+   trajectory is comparable across PRs.  Much faster than the full
+   bechamel run in main.ml — wired into `make bench-check`. *)
+
+module Params = Sc_pairing.Params
+module Tate = Sc_pairing.Tate
+module Curve = Sc_ec.Curve
+module Nat = Sc_bignum.Nat
+
+let drbg = Sc_hash.Drbg.create ~seed:"bench-quick"
+let bs = Sc_hash.Drbg.bytes_source drbg
+
+let time_ns ?(iters = 100) f =
+  for _ = 1 to 3 do
+    ignore (f ())
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9 /. float_of_int iters
+
+let () =
+  let prm = Lazy.force Params.toy in
+  let prm_small = Lazy.force Params.small in
+  let g = prm.Params.g and gs = prm_small.Params.g in
+  let scalar_small = Params.random_scalar prm_small ~bytes_source:bs in
+  let pairs8 =
+    List.init 8 (fun _ ->
+        let a = Params.random_scalar prm_small ~bytes_source:bs in
+        let b = Params.random_scalar prm_small ~bytes_source:bs in
+        ( Curve.mul prm_small.Params.curve a gs,
+          Curve.mul prm_small.Params.curve b gs ))
+  in
+  let results =
+    [
+      "pairing(toy)", time_ns ~iters:200 (fun () -> Tate.pairing prm g g);
+      ( "pairing(small)",
+        time_ns ~iters:100 (fun () -> Tate.pairing prm_small gs gs) );
+      ( "multi_pairing(k=8)",
+        time_ns ~iters:30 (fun () -> Tate.multi_pairing prm_small pairs8) );
+      ( "point_mul",
+        time_ns ~iters:200 (fun () ->
+            Curve.mul prm_small.Params.curve scalar_small gs) );
+    ]
+  in
+  (* The designated-verifier auditing hot path: pairings per Ibs.verify
+     (the seed needed 2; the multi-pairing rewrite needs 1). *)
+  let sio = Sc_ibc.Setup.create prm ~bytes_source:bs in
+  let pub = Sc_ibc.Setup.public sio in
+  let alice = Sc_ibc.Setup.extract sio "alice" in
+  let s = Sc_ibc.Ibs.sign pub alice ~bytes_source:bs "bench" in
+  Tate.reset_pairing_count ();
+  assert (Sc_ibc.Ibs.verify pub ~signer:"alice" ~msg:"bench" s);
+  let ibs_verify_pairings = Tate.pairings_performed () in
+  let json =
+    Printf.sprintf "{\n%s,\n  \"ibs_verify_pairings\": %d\n}\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (name, ns) -> Printf.sprintf "  %S: %.0f" name ns)
+            results))
+      ibs_verify_pairings
+  in
+  let oc = open_out "BENCH_pairing.json" in
+  output_string oc json;
+  close_out oc;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-24s %12.1f us/op\n" name (ns /. 1e3))
+    results;
+  Printf.printf "%-24s %12d\n" "ibs_verify_pairings" ibs_verify_pairings;
+  print_endline "wrote BENCH_pairing.json"

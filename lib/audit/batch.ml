@@ -60,14 +60,23 @@ let verify_jobs pub ~verifier_key ~role jobs =
   let failures = ref [] in
   let fail f = failures := f :: !failures in
   let entries = ref [] in
+  (* Root commitment signatures across all jobs are checked with one
+     batched multi-pairing equation; only when that fails are jobs
+     re-checked individually to attribute blame. *)
+  let root_sig_of job =
+    ( job.commitment.Protocol.cs_id,
+      "root:" ^ job.commitment.Protocol.root,
+      job.commitment.Protocol.root_signature )
+  in
+  if not (Ibs.verify_batch pub (List.map root_sig_of jobs)) then
+    List.iter
+      (fun job ->
+        let signer, msg, s = root_sig_of job in
+        if not (Ibs.verify pub ~signer ~msg s)
+        then fail Protocol.Root_signature_wrong)
+      jobs;
   List.iter
     (fun job ->
-      (* Root commitment signatures are checked per job. *)
-      if not
-           (Ibs.verify pub ~signer:job.commitment.Protocol.cs_id
-              ~msg:("root:" ^ job.commitment.Protocol.root)
-              job.commitment.Protocol.root_signature)
-      then fail Protocol.Root_signature_wrong;
       let by_index =
         List.fold_left
           (fun acc (r : Executor.response) -> (r.Executor.task_index, r) :: acc)

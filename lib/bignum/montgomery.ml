@@ -122,8 +122,97 @@ let of_mont ctx (a : mont) =
   Nat.of_limbs (redc ctx t)
 
 let one ctx = pad ctx (Nat.to_limbs ctx.r_mod_m)
+let zero ctx = Array.make ctx.k 0
+let of_int ctx n = to_mont ctx (Nat.of_int n)
 let mul ctx a b = redc ctx (mul_into ctx a b)
 let sqr ctx a = mul ctx a a
+
+let is_zero (a : mont) =
+  let rec go i = i < 0 || (a.(i) = 0 && go (i - 1)) in
+  go (Array.length a - 1)
+
+(* Values are canonical (< m), so domain equality is limb equality. *)
+let equal (a : mont) (b : mont) =
+  let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+  Array.length a = Array.length b && go (Array.length a - 1)
+
+(* out >= m, comparing the k-limb arrays from the top. *)
+let ge_mod ctx (a : mont) =
+  let m = ctx.m_limbs in
+  let rec cmp i =
+    if i < 0 then true else if a.(i) <> m.(i) then a.(i) > m.(i) else cmp (i - 1)
+  in
+  cmp (ctx.k - 1)
+
+(* In-place a <- a - m (no borrow out: caller ensures a >= m). *)
+let sub_mod_inplace ctx (a : mont) =
+  let m = ctx.m_limbs in
+  let borrow = ref 0 in
+  for i = 0 to ctx.k - 1 do
+    let d = a.(i) - m.(i) - !borrow in
+    if d < 0 then begin
+      a.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      a.(i) <- d;
+      borrow := 0
+    end
+  done
+
+(* The Montgomery map is additive (aR + bR = (a+b)R), so modular
+   add/sub/neg work directly on domain representatives. *)
+let add ctx (a : mont) (b : mont) =
+  let k = ctx.k in
+  let out = Array.make k 0 in
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let x = a.(i) + b.(i) + !carry in
+    out.(i) <- x land mask;
+    carry := x lsr limb_bits
+  done;
+  if !carry > 0 || ge_mod ctx out then sub_mod_inplace ctx out;
+  out
+
+let sub ctx (a : mont) (b : mont) =
+  let k = ctx.k and m = ctx.m_limbs in
+  let out = Array.make k 0 in
+  let borrow = ref 0 in
+  for i = 0 to k - 1 do
+    let d = a.(i) - b.(i) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow > 0 then begin
+    let carry = ref 0 in
+    for i = 0 to k - 1 do
+      let x = out.(i) + m.(i) + !carry in
+      out.(i) <- x land mask;
+      carry := x lsr limb_bits
+    done
+  end;
+  out
+
+let neg ctx (a : mont) = if is_zero a then Array.copy a else sub ctx (zero ctx) a
+let double ctx (a : mont) = add ctx a a
+
+(* Inversion leaves the domain once: (aR)·B^-k = a, invert with the
+   extended Euclid, then re-enter.  mul (aR) ((a^-1)R) = R = one. *)
+let inv ctx (a : mont) =
+  let v = of_mont ctx a in
+  let g, x, _ = Modular.egcd v ctx.m in
+  if not (Nat.is_one g) then raise Not_found;
+  let xm =
+    let r = Nat.rem (Signed.abs x) ctx.m in
+    if Signed.sign x < 0 && not (Nat.is_zero r) then Nat.sub ctx.m r else r
+  in
+  to_mont ctx xm
 
 let pow ctx b e =
   let b = to_mont ctx b in

@@ -25,8 +25,32 @@ val of_mont : ctx -> mont -> Nat.t
 val one : ctx -> mont
 (** R mod m, the domain image of 1. *)
 
+val zero : ctx -> mont
+
+val of_int : ctx -> int -> mont
+(** @raise Invalid_argument on negative arguments (see
+    {!Nat.of_int}). *)
+
+val is_zero : mont -> bool
+
+val equal : mont -> mont -> bool
+(** Domain representatives are canonical, so this is also equality of
+    the represented residues (for operands of the same context). *)
+
+val add : ctx -> mont -> mont -> mont
+val sub : ctx -> mont -> mont -> mont
+val neg : ctx -> mont -> mont
+val double : ctx -> mont -> mont
+(** Modular add/sub/neg/double directly on domain representatives —
+    the Montgomery map is additive, so no conversion is involved. *)
+
 val mul : ctx -> mont -> mont -> mont
 val sqr : ctx -> mont -> mont
+
+val inv : ctx -> mont -> mont
+(** [mul ctx a (inv ctx a) = one ctx].
+    @raise Not_found when the argument is not invertible (including
+    zero). *)
 
 val pow : ctx -> Nat.t -> Nat.t -> Nat.t
 (** [pow ctx b e] = b^e mod m, entirely inside the Montgomery domain.

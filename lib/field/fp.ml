@@ -71,3 +71,36 @@ let sqrt ctx a =
 
 let random ctx ~bytes_source = Nat.random_below ~bytes_source ctx.p
 let pp = Nat.pp
+
+let mont_exn ctx =
+  match ctx.mont with
+  | Some m -> m
+  | None -> invalid_arg "Fp.Mont: characteristic 2 has no Montgomery form"
+
+module Mont = struct
+  type e = Montgomery.mont
+
+  let enter ctx a = Montgomery.to_mont (mont_exn ctx) a
+  let leave ctx a = Montgomery.of_mont (mont_exn ctx) a
+  let zero ctx = Montgomery.zero (mont_exn ctx)
+  let one ctx = Montgomery.one (mont_exn ctx)
+
+  let of_int ctx n =
+    let m = mont_exn ctx in
+    if n >= 0 then Montgomery.of_int m n
+    else Montgomery.neg m (Montgomery.of_int m (-n))
+
+  let add ctx = Montgomery.add (mont_exn ctx)
+  let sub ctx = Montgomery.sub (mont_exn ctx)
+  let neg ctx = Montgomery.neg (mont_exn ctx)
+  let double ctx = Montgomery.double (mont_exn ctx)
+  let mul ctx = Montgomery.mul (mont_exn ctx)
+  let sqr ctx = Montgomery.sqr (mont_exn ctx)
+  let is_zero = Montgomery.is_zero
+  let equal = Montgomery.equal
+
+  let inv ctx a =
+    match Montgomery.inv (mont_exn ctx) a with
+    | exception Not_found -> raise Division_by_zero
+    | r -> r
+end

@@ -54,3 +54,38 @@ val sqrt : ctx -> el -> el option
 val random : ctx -> bytes_source:(int -> string) -> el
 
 val pp : Format.formatter -> el -> unit
+
+(** Montgomery-resident field elements.
+
+    The pairing hot path converts its inputs into the Montgomery
+    domain once ({!Mont.enter}), runs the whole Miller loop and final
+    exponentiation on {!Mont.e} values — where a multiplication is one
+    fused REDC instead of a {!Sc_bignum.Nat.mul} plus a Barrett
+    reduction — and converts back once at the end ({!Mont.leave}).
+    Only odd characteristics have a Montgomery form; every operation
+    raises [Invalid_argument] on a characteristic-2 context. *)
+module Mont : sig
+  type e
+
+  val enter : ctx -> el -> e
+  val leave : ctx -> e -> el
+
+  val zero : ctx -> e
+  val one : ctx -> e
+
+  val of_int : ctx -> int -> e
+  (** Accepts negative integers, like {!of_int}. *)
+
+  val add : ctx -> e -> e -> e
+  val sub : ctx -> e -> e -> e
+  val neg : ctx -> e -> e
+  val double : ctx -> e -> e
+  val mul : ctx -> e -> e -> e
+  val sqr : ctx -> e -> e
+
+  val inv : ctx -> e -> e
+  (** @raise Division_by_zero on zero. *)
+
+  val is_zero : e -> bool
+  val equal : e -> e -> bool
+end

@@ -55,3 +55,54 @@ let pow ctx b e =
   if nbits = 0 then one else go one (nbits - 1)
 
 let pp fmt a = Format.fprintf fmt "(%a + %a*i)" Fp.pp a.re Fp.pp a.im
+
+(* Montgomery-resident mirror of the arithmetic above, componentwise
+   over Fp.Mont — the pairing layer runs its whole hot path here. *)
+module Mont = struct
+  module M = Fp.Mont
+
+  type e = { re : M.e; im : M.e }
+
+  let enter ctx (a : el) = { re = M.enter ctx a.re; im = M.enter ctx a.im }
+
+  let leave ctx a : el = { re = M.leave ctx a.re; im = M.leave ctx a.im }
+  let make re im = { re; im }
+  let zero ctx = { re = M.zero ctx; im = M.zero ctx }
+  let one ctx = { re = M.one ctx; im = M.zero ctx }
+  let is_zero a = M.is_zero a.re && M.is_zero a.im
+  let equal a b = M.equal a.re b.re && M.equal a.im b.im
+  let add ctx a b = { re = M.add ctx a.re b.re; im = M.add ctx a.im b.im }
+  let sub ctx a b = { re = M.sub ctx a.re b.re; im = M.sub ctx a.im b.im }
+  let neg ctx a = { re = M.neg ctx a.re; im = M.neg ctx a.im }
+
+  let mul ctx a b =
+    let ac = M.mul ctx a.re b.re and bd = M.mul ctx a.im b.im in
+    let ad = M.mul ctx a.re b.im and bc = M.mul ctx a.im b.re in
+    { re = M.sub ctx ac bd; im = M.add ctx ad bc }
+
+  let sqr ctx a =
+    let re = M.mul ctx (M.sub ctx a.re a.im) (M.add ctx a.re a.im) in
+    let im = M.double ctx (M.mul ctx a.re a.im) in
+    { re; im }
+
+  let conj ctx a = { a with im = M.neg ctx a.im }
+  let norm ctx a = M.add ctx (M.sqr ctx a.re) (M.sqr ctx a.im)
+
+  let inv ctx a =
+    let n = norm ctx a in
+    if M.is_zero n then raise Division_by_zero;
+    let ninv = M.inv ctx n in
+    { re = M.mul ctx a.re ninv; im = M.neg ctx (M.mul ctx a.im ninv) }
+
+  let pow ctx b e =
+    let nbits = Nat.bit_length e in
+    let rec go acc i =
+      if i < 0 then acc
+      else begin
+        let acc = sqr ctx acc in
+        let acc = if Nat.test_bit e i then mul ctx acc b else acc in
+        go acc (i - 1)
+      end
+    in
+    if nbits = 0 then one ctx else go (one ctx) (nbits - 1)
+end

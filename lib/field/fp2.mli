@@ -40,3 +40,32 @@ val div : Fp.ctx -> el -> el -> el
 val pow : Fp.ctx -> el -> Nat.t -> el
 
 val pp : Format.formatter -> el -> unit
+
+(** F_p² arithmetic over Montgomery-resident components
+    ({!Fp.Mont.e}) — the representation the pairing hot path lives
+    in.  Semantics mirror the top-level functions exactly. *)
+module Mont : sig
+  type e = { re : Fp.Mont.e; im : Fp.Mont.e }
+
+  val enter : Fp.ctx -> el -> e
+  val leave : Fp.ctx -> e -> el
+
+  val make : Fp.Mont.e -> Fp.Mont.e -> e
+  val zero : Fp.ctx -> e
+  val one : Fp.ctx -> e
+  val is_zero : e -> bool
+  val equal : e -> e -> bool
+
+  val add : Fp.ctx -> e -> e -> e
+  val sub : Fp.ctx -> e -> e -> e
+  val neg : Fp.ctx -> e -> e
+  val mul : Fp.ctx -> e -> e -> e
+  val sqr : Fp.ctx -> e -> e
+  val conj : Fp.ctx -> e -> e
+  val norm : Fp.ctx -> e -> Fp.Mont.e
+
+  val inv : Fp.ctx -> e -> e
+  (** @raise Division_by_zero on zero. *)
+
+  val pow : Fp.ctx -> e -> Nat.t -> e
+end

@@ -26,7 +26,13 @@ let verify_batch (pub : Setup.public) ~verifier_key entries =
         Curve.add prm.curve u_acc w, Tate.gt_mul prm s_acc e.dvs.Dvs.sigma)
       (Curve.infinity, Tate.gt_one) entries
   in
-  Tate.gt_equal (Tate.pairing prm u_agg verifier_key.Setup.sk) sigma_agg
+  (* The aggregate Σ lives in GT, so only the U_A side is a Miller
+     term; routing it through multi_pairing keeps the whole audit
+     layer on the shared-Miller entry point (and its one-per-equation
+     pairing count). *)
+  Tate.gt_equal
+    (Tate.multi_pairing prm [ u_agg, verifier_key.Setup.sk ])
+    sigma_agg
 
 let aggregate_size_bytes (pub : Setup.public) entries =
   let prm = pub.prm in

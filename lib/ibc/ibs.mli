@@ -23,6 +23,19 @@ val sign :
   t
 
 val verify : Setup.public -> signer:string -> msg:string -> t -> bool
+(** Checks ê(V, P)·ê(−W, P_pub) = 1 as one 2-term
+    {!Sc_pairing.Tate.multi_pairing} — a single shared Miller loop
+    instead of the two pairings of the textbook equation. *)
+
+val verify_batch : Setup.public -> (string * string * t) list -> bool
+(** [verify_batch pub [(signer, msg, sig); …]] verifies every
+    signature with one 2-term multi-pairing total (plus two scalar
+    multiplications per entry), using batch-transcript-derived
+    combining coefficients to prevent cross-signature cancellation.
+    Accepts the empty batch.  A [true] verdict is overwhelmingly (not
+    absolutely) sound, as usual for small-exponent batch tests; on
+    [false], re-check individually with {!verify} to attribute
+    blame. *)
 
 val verification_point :
   Setup.public -> q_id:Curve.point -> msg:string -> u:Curve.point -> Curve.point

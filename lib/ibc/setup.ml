@@ -23,9 +23,11 @@ let extract sio id =
 
 let q_of_id pub id = Hash_g1.hash_to_point pub.prm ("id:" ^ id)
 
+(* ê(sk, P) = ê(Q_ID, P_pub), checked as a one-Miller-loop 2-term
+   multi-pairing ê(sk, P)·ê(−Q_ID, P_pub) = 1. *)
 let valid_key pub (key : identity_key) =
   let prm = pub.prm in
   Curve.on_curve prm.curve key.sk
-  && Tate.gt_equal
-       (Tate.pairing prm key.sk prm.g)
-       (Tate.pairing prm key.q_id pub.p_pub)
+  && Tate.gt_is_one
+       (Tate.multi_pairing prm
+          [ key.sk, prm.g; Curve.neg prm.curve key.q_id, pub.p_pub ])

@@ -8,7 +8,16 @@ let gt_one = Fp2.one
 let gt_is_one = Fp2.is_one
 let gt_equal = Fp2.equal
 let gt_mul (prm : Params.t) a b = Fp2.mul prm.fp a b
-let gt_inv (prm : Params.t) a = Fp2.conj prm.fp a
+
+(* Conjugation inverts only unitary elements (norm 1) — true of every
+   value that went through the final exponentiation, but not of
+   arbitrary F_p² values (e.g. decoded, possibly mauled wire bytes).
+   Guard with a norm check and fall back to a full inversion, so the
+   function is a total inverse either way. *)
+let gt_inv (prm : Params.t) a =
+  let fp = prm.fp in
+  if Fp.equal (Fp2.norm fp a) Fp.one then Fp2.conj fp a else Fp2.inv fp a
+
 let gt_pow (prm : Params.t) a e = Fp2.pow prm.fp a e
 
 (* Evaluate the line through T (slope lam) at the distorted point
@@ -83,122 +92,172 @@ let miller_affine (prm : Params.t) px py xq yq =
   done;
   !f
 
-(* Projective Miller loop: T is tracked in Jacobian coordinates
-   (x = X/Z², y = Y/Z³), and every line function is scaled by an
-   F_p* factor (2YZ³ for tangents, V·Z for chords) that the final
-   exponentiation annihilates — so the whole loop is inversion-free.
+(* --- Montgomery-domain projective Miller machinery ----------------
+
+   The hot path lives entirely on Montgomery-resident elements
+   ({!Fp.Mont.e} / {!Fp2.Mont.e}): inputs are converted once on entry,
+   every Miller-loop and final-exponentiation multiplication is a
+   single fused REDC, and the result is converted back once at the
+   end.
+
+   T is tracked in Jacobian coordinates (x = X/Z², y = Y/Z³), and
+   every line function is scaled by an F_p* factor (2YZ³ for tangents,
+   V·Z for chords) that the final exponentiation annihilates — so the
+   whole loop is inversion-free.
 
    Tangent at T evaluated at φ(Q) = (−x_q, i·y_q), scaled by 2YZ³:
      re = M·(X + x_q·Z²) − 2Y²,   im = 2Y·Z³·y_q,
    with M = 3X² + a·Z⁴.  Chord through T and the affine P, scaled by
    V·Z with U = y_p·Z³ − Y, V = x_p·Z² − X:
      re = U·(x_q + x_p) − V·Z·y_p,   im = V·Z·y_q. *)
-let miller_projective (prm : Params.t) px py xq yq =
-  let fp = prm.fp in
-  let a = Curve.coeff_a prm.curve in
-  let f = ref Fp2.one in
-  let tx = ref px and ty = ref py and tz = ref Fp.one in
-  let t_inf = ref false in
-  let nbits = Nat.bit_length prm.q in
-  for i = nbits - 2 downto 0 do
-    f := Fp2.sqr fp !f;
-    if not !t_inf then begin
-      if Fp.is_zero !ty then t_inf := true
+
+module FpM = Fp.Mont
+module F2M = Fp2.Mont
+
+(* Per-pair Miller state: fixed affine inputs plus the running
+   Jacobian T.  Several states can share one f-squaring chain — that
+   is exactly what {!multi_pairing} does. *)
+type mstate = {
+  px : FpM.e;
+  py : FpM.e;
+  xq : FpM.e;
+  yq : FpM.e;
+  mutable tx : FpM.e;
+  mutable ty : FpM.e;
+  mutable tz : FpM.e;
+  mutable inf : bool;
+}
+
+let mstate fp px py xq yq =
+  let pxm = FpM.enter fp px and pym = FpM.enter fp py in
+  {
+    px = pxm;
+    py = pym;
+    xq = FpM.enter fp xq;
+    yq = FpM.enter fp yq;
+    tx = pxm;
+    ty = pym;
+    tz = FpM.one fp;
+    inf = false;
+  }
+
+(* Tangent step: multiply the line at T into f and double T. *)
+let dbl_step fp am st f =
+  if st.inf then f
+  else if FpM.is_zero st.ty then begin
+    (* Vertical tangent: contributes an eliminated F_p factor only. *)
+    st.inf <- true;
+    f
+  end
+  else begin
+    let x = st.tx and y = st.ty and z = st.tz in
+    let xx = FpM.sqr fp x in
+    let yy = FpM.sqr fp y in
+    let zz = FpM.sqr fp z in
+    let m =
+      FpM.add fp (FpM.add fp (FpM.double fp xx) xx)
+        (FpM.mul fp am (FpM.sqr fp zz))
+    in
+    (* Line first (it needs the old X, Y, Z). *)
+    let two_yy = FpM.double fp yy in
+    let re =
+      FpM.sub fp (FpM.mul fp m (FpM.add fp x (FpM.mul fp st.xq zz))) two_yy
+    in
+    let z3 = FpM.double fp (FpM.mul fp y z) in
+    let im = FpM.mul fp (FpM.mul fp z3 zz) st.yq in
+    let f = F2M.mul fp f (F2M.make re im) in
+    (* dbl: S = 4XY², X3 = M² − 2S, Y3 = M(S − X3) − 8Y⁴. *)
+    let s = FpM.double fp (FpM.double fp (FpM.mul fp x yy)) in
+    let x3 = FpM.sub fp (FpM.sqr fp m) (FpM.double fp s) in
+    let y3 =
+      FpM.sub fp
+        (FpM.mul fp m (FpM.sub fp s x3))
+        (FpM.double fp (FpM.double fp (FpM.double fp (FpM.sqr fp yy))))
+    in
+    st.tx <- x3;
+    st.ty <- y3;
+    st.tz <- z3;
+    f
+  end
+
+(* Chord step: multiply the line through T and P into f, T <- T + P. *)
+let add_step fp am st f =
+  if st.inf then f
+  else begin
+    let x = st.tx and y = st.ty and z = st.tz in
+    let zz = FpM.sqr fp z in
+    let u = FpM.sub fp (FpM.mul fp st.py (FpM.mul fp z zz)) y in
+    let v = FpM.sub fp (FpM.mul fp st.px zz) x in
+    if FpM.is_zero v then begin
+      if FpM.is_zero u then
+        (* T = P: tangent step (cannot happen for a prime-order Miller
+           loop, but stay total). *)
+        dbl_step fp am st f
       else begin
-        let x = !tx and y = !ty and z = !tz in
-        let xx = Fp.sqr fp x in
-        let yy = Fp.sqr fp y in
-        let zz = Fp.sqr fp z in
-        let m = Fp.add fp (Fp.add fp (Fp.double fp xx) xx) (Fp.mul fp a (Fp.sqr fp zz)) in
-        (* Line first (it needs the old X, Y, Z). *)
-        let two_yy = Fp.double fp yy in
-        let re =
-          Fp.sub fp (Fp.mul fp m (Fp.add fp x (Fp.mul fp xq zz))) two_yy
-        in
-        let z3 = Fp.double fp (Fp.mul fp y z) in
-        let im = Fp.mul fp (Fp.mul fp z3 zz) yq in
-        f := Fp2.mul fp !f (Fp2.make re im);
-        (* dbl: S = 4XY², X3 = M² − 2S, Y3 = M(S − X3) − 8Y⁴. *)
-        let s = Fp.double fp (Fp.double fp (Fp.mul fp x yy)) in
-        let x3 = Fp.sub fp (Fp.sqr fp m) (Fp.double fp s) in
-        let y3 =
-          Fp.sub fp
-            (Fp.mul fp m (Fp.sub fp s x3))
-            (Fp.double fp (Fp.double fp (Fp.double fp (Fp.sqr fp yy))))
-        in
-        tx := x3;
-        ty := y3;
-        tz := z3
-      end
-    end;
-    if Nat.test_bit prm.q i && not !t_inf then begin
-      let x = !tx and y = !ty and z = !tz in
-      let zz = Fp.sqr fp z in
-      let u = Fp.sub fp (Fp.mul fp py (Fp.mul fp z zz)) y in
-      let v = Fp.sub fp (Fp.mul fp px zz) x in
-      if Fp.is_zero v then begin
-        if Fp.is_zero u then begin
-          (* T = P: fall back to a tangent step (cannot happen for a
-             prime-order Miller loop, but stay total). *)
-          t_inf := false;
-          let m =
-            Fp.add fp
-              (Fp.add fp (Fp.double fp (Fp.sqr fp x)) (Fp.sqr fp x))
-              (Fp.mul fp a (Fp.sqr fp zz))
-          in
-          let yy = Fp.sqr fp y in
-          let re =
-            Fp.sub fp (Fp.mul fp m (Fp.add fp x (Fp.mul fp xq zz)))
-              (Fp.double fp yy)
-          in
-          let z3 = Fp.double fp (Fp.mul fp y z) in
-          let im = Fp.mul fp (Fp.mul fp z3 zz) yq in
-          f := Fp2.mul fp !f (Fp2.make re im);
-          let s = Fp.double fp (Fp.double fp (Fp.mul fp x yy)) in
-          let x3 = Fp.sub fp (Fp.sqr fp m) (Fp.double fp s) in
-          let y3 =
-            Fp.sub fp
-              (Fp.mul fp m (Fp.sub fp s x3))
-              (Fp.double fp (Fp.double fp (Fp.double fp (Fp.sqr fp yy))))
-          in
-          tx := x3;
-          ty := y3;
-          tz := z3
-        end
-        else
-          (* Vertical chord: eliminated factor, T becomes O. *)
-          t_inf := true
-      end
-      else begin
-        let vz = Fp.mul fp v z in
-        let re = Fp.sub fp (Fp.mul fp u (Fp.add fp xq px)) (Fp.mul fp vz py) in
-        let im = Fp.mul fp vz yq in
-        f := Fp2.mul fp !f (Fp2.make re im);
-        (* madd: X3 = U² − V³ − 2V²X, Y3 = U(V²X − X3) − V³Y, Z3 = VZ. *)
-        let vv = Fp.sqr fp v in
-        let vvv = Fp.mul fp vv v in
-        let vvx = Fp.mul fp vv x in
-        let x3 = Fp.sub fp (Fp.sub fp (Fp.sqr fp u) vvv) (Fp.double fp vvx) in
-        let y3 =
-          Fp.sub fp (Fp.mul fp u (Fp.sub fp vvx x3)) (Fp.mul fp vvv y)
-        in
-        tx := x3;
-        ty := y3;
-        tz := vz
+        (* Vertical chord: eliminated factor, T becomes O. *)
+        st.inf <- true;
+        f
       end
     end
+    else begin
+      let vz = FpM.mul fp v z in
+      let re =
+        FpM.sub fp (FpM.mul fp u (FpM.add fp st.xq st.px)) (FpM.mul fp vz st.py)
+      in
+      let im = FpM.mul fp vz st.yq in
+      let f = F2M.mul fp f (F2M.make re im) in
+      (* madd: X3 = U² − V³ − 2V²X, Y3 = U(V²X − X3) − V³Y, Z3 = VZ. *)
+      let vv = FpM.sqr fp v in
+      let vvv = FpM.mul fp vv v in
+      let vvx = FpM.mul fp vv x in
+      let x3 = FpM.sub fp (FpM.sub fp (FpM.sqr fp u) vvv) (FpM.double fp vvx) in
+      let y3 =
+        FpM.sub fp (FpM.mul fp u (FpM.sub fp vvx x3)) (FpM.mul fp vvv y)
+      in
+      st.tx <- x3;
+      st.ty <- y3;
+      st.tz <- vz;
+      f
+    end
+  end
+
+(* One Miller loop shared by any number of pair states: f is squared
+   once per exponent bit regardless of how many pairs ride along, so a
+   k-term product pays one squaring chain instead of k. *)
+let miller_shared (prm : Params.t) states =
+  let fp = prm.fp in
+  let am = FpM.enter fp (Curve.coeff_a prm.curve) in
+  let f = ref (F2M.one fp) in
+  let nbits = Nat.bit_length prm.q in
+  for i = nbits - 2 downto 0 do
+    f := F2M.sqr fp !f;
+    Array.iter (fun st -> f := dbl_step fp am st !f) states;
+    if Nat.test_bit prm.q i then
+      Array.iter (fun st -> f := add_step fp am st !f) states
   done;
   !f
 
+let miller_projective prm px py xq yq =
+  miller_shared prm [| mstate prm.fp px py xq yq |]
+
 (* f^((p² − 1)/q) = (f^(p−1))^c = (conj(f)·f⁻¹)^c, using that
-   conjugation is the p-power Frobenius when p ≡ 3 (mod 4). *)
+   conjugation is the p-power Frobenius when p ≡ 3 (mod 4).  Kept in
+   the standard (Barrett) domain for the affine oracle path. *)
 let final_expo (prm : Params.t) f =
   let fp = prm.fp in
   let g = Fp2.mul fp (Fp2.conj fp f) (Fp2.inv fp f) in
   Fp2.pow fp g prm.cofactor
 
+(* Same map, Montgomery-resident end to end. *)
+let final_expo_mont (prm : Params.t) f =
+  let fp = prm.fp in
+  let g = F2M.mul fp (F2M.conj fp f) (F2M.inv fp f) in
+  F2M.pow fp g prm.cofactor
+
 (* Global instrumentation: the evaluation section compares schemes by
-   pairing counts, so the library keeps a tally. *)
+   pairing counts, so the library keeps a tally.  A multi-pairing runs
+   one Miller chain and one final exponentiation, so it counts once
+   however many terms it multiplies. *)
 let pairing_count = ref 0
 
 let pairings_performed () = !pairing_count
@@ -210,7 +269,28 @@ let pairing prm p q =
   | Curve.Infinity, _ | _, Curve.Infinity -> gt_one
   | Curve.Affine (px, py), Curve.Affine (qx, qy) ->
     let f = miller_projective prm px py qx qy in
-    if Fp2.is_zero f then gt_one else final_expo prm f
+    if F2M.is_zero f then gt_one
+    else F2M.leave prm.fp (final_expo_mont prm f)
+
+let multi_pairing (prm : Params.t) pairs =
+  let finite =
+    List.filter_map
+      (function
+        | Curve.Infinity, _ | _, Curve.Infinity -> None
+        | Curve.Affine (px, py), Curve.Affine (qx, qy) -> Some (px, py, qx, qy))
+      pairs
+  in
+  match finite with
+  | [] -> gt_one
+  | _ ->
+    incr pairing_count;
+    let states =
+      Array.of_list
+        (List.map (fun (px, py, qx, qy) -> mstate prm.fp px py qx qy) finite)
+    in
+    let f = miller_shared prm states in
+    if F2M.is_zero f then gt_one
+    else F2M.leave prm.fp (final_expo_mont prm f)
 
 let pairing_affine prm p q =
   incr pairing_count;

@@ -16,7 +16,18 @@ type gt = Fp2.el
 val pairing : Params.t -> Curve.point -> Curve.point -> gt
 (** [pairing prm p q] is ê(P, Q); returns {!gt_one} when either
     argument is the point at infinity.  Uses the inversion-free
-    projective Miller loop. *)
+    projective Miller loop, run entirely in the Montgomery domain
+    (inputs are converted once on entry and the result converted back
+    after the final exponentiation). *)
+
+val multi_pairing : Params.t -> (Curve.point * Curve.point) list -> gt
+(** [multi_pairing prm [(p1, q1); …; (pk, qk)]] is Π ê(P_i, Q_i),
+    computed with a single shared Miller squaring chain and one final
+    exponentiation — so a k-term product costs far less than k
+    separate pairings.  Pairs with an infinity component contribute 1
+    and are skipped; the empty product is {!gt_one}.  Counts as one
+    evaluation in {!pairings_performed} (zero when every pair is
+    skipped). *)
 
 val pairing_affine : Params.t -> Curve.point -> Curve.point -> gt
 (** Reference implementation with an affine Miller loop (one field
@@ -29,7 +40,13 @@ val gt_equal : gt -> gt -> bool
 val gt_mul : Params.t -> gt -> gt -> gt
 
 val gt_inv : Params.t -> gt -> gt
-(** Inversion by conjugation — GT elements are unitary. *)
+(** Total inversion on F_p²*.  Conjugation inverts only {e unitary}
+    elements (norm 1) — which every honest GT element is, since the
+    final exponentiation maps into the norm-1 subgroup — so the
+    implementation takes the cheap conjugation path exactly when the
+    norm check passes and falls back to a full field inversion for
+    non-unitary inputs (e.g. decoded, possibly mauled wire bytes).
+    @raise Division_by_zero on zero. *)
 
 val gt_pow : Params.t -> gt -> Nat.t -> gt
 

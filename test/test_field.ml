@@ -121,4 +121,43 @@ let property_tests =
           (Fp2.mul fp x (Fp2.conj fp x)));
   ]
 
-let suite = unit_tests @ property_tests
+(* The Montgomery-resident mirrors must agree with the Barrett-domain
+   reference arithmetic on every operation. *)
+let mont_tests =
+  let open Util in
+  [
+    qcheck "fp mont enter/leave round trip" gen_el (fun a ->
+        Fp.equal a (Fp.Mont.leave fp (Fp.Mont.enter fp a)));
+    qcheck "fp mont mul/add/sub/inv mirror Fp"
+      (QCheck2.Gen.pair gen_el gen_el) (fun (a, b) ->
+        let am = Fp.Mont.enter fp a and bm = Fp.Mont.enter fp b in
+        let out = Fp.Mont.leave fp in
+        Fp.equal (out (Fp.Mont.mul fp am bm)) (Fp.mul fp a b)
+        && Fp.equal (out (Fp.Mont.add fp am bm)) (Fp.add fp a b)
+        && Fp.equal (out (Fp.Mont.sub fp am bm)) (Fp.sub fp a b)
+        && Fp.equal (out (Fp.Mont.sqr fp am)) (Fp.sqr fp a)
+        && (Fp.is_zero a
+           || Fp.equal (out (Fp.Mont.inv fp am)) (Fp.inv fp a)));
+    qcheck "fp2 mont mul/sqr/conj/inv/pow mirror Fp2"
+      (QCheck2.Gen.pair gen_el2 gen_el2) (fun (x, y) ->
+        let xm = Fp2.Mont.enter fp x and ym = Fp2.Mont.enter fp y in
+        let out = Fp2.Mont.leave fp in
+        Fp2.equal (out (Fp2.Mont.mul fp xm ym)) (Fp2.mul fp x y)
+        && Fp2.equal (out (Fp2.Mont.sqr fp xm)) (Fp2.sqr fp x)
+        && Fp2.equal (out (Fp2.Mont.conj fp xm)) (Fp2.conj fp x)
+        && Fp2.equal
+             (out (Fp2.Mont.pow fp xm (Nat.of_int 13)))
+             (Fp2.pow fp x (Nat.of_int 13))
+        && (Fp2.is_zero x
+           || Fp2.equal (out (Fp2.Mont.inv fp xm)) (Fp2.inv fp x)));
+    case "fp mont constants and of_int" (fun () ->
+        check nat "one" Nat.one (Fp.Mont.leave fp (Fp.Mont.one fp));
+        check nat "zero" Nat.zero (Fp.Mont.leave fp (Fp.Mont.zero fp));
+        check nat "of_int -1" (Nat.sub p Nat.one)
+          (Fp.Mont.leave fp (Fp.Mont.of_int fp (-1)));
+        check Alcotest.bool "is_zero" true (Fp.Mont.is_zero (Fp.Mont.zero fp));
+        check Alcotest.bool "equal" true
+          (Fp.Mont.equal (Fp.Mont.one fp) (Fp.Mont.of_int fp 1)));
+  ]
+
+let suite = unit_tests @ property_tests @ mont_tests

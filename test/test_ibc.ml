@@ -54,6 +54,29 @@ let unit_tests =
     case "IBS of_bytes rejects garbage" (fun () ->
         check Alcotest.bool "garbage" true (Ibs.of_bytes pub "zz" = None);
         check Alcotest.bool "bad length" true (Ibs.of_bytes pub "0099abc" = None));
+    case "IBS verify_batch: honest batch, one multi-pairing" (fun () ->
+        let entries =
+          List.concat_map
+            (fun (key, id) ->
+              List.init 3 (fun i ->
+                  let m = Printf.sprintf "%s-batch-%d" id i in
+                  id, m, Ibs.sign pub key ~bytes_source:bs m))
+            [ alice, "alice"; bob, "bob" ]
+        in
+        Sc_pairing.Tate.reset_pairing_count ();
+        check Alcotest.bool "batch verifies" true (Ibs.verify_batch pub entries);
+        check Alcotest.int "one multi-pairing" 1
+          (Sc_pairing.Tate.pairings_performed ());
+        check Alcotest.bool "empty batch" true (Ibs.verify_batch pub []));
+    case "IBS verify_batch rejects a single bad signature" (fun () ->
+        let good =
+          List.init 3 (fun i ->
+              let m = Printf.sprintf "vb-%d" i in
+              "alice", m, Ibs.sign pub alice ~bytes_source:bs m)
+        in
+        let bad = "bob", "claimed", Ibs.sign pub alice ~bytes_source:bs "other" in
+        check Alcotest.bool "tainted batch" false
+          (Ibs.verify_batch pub (good @ [ bad ])));
     case "DVS designated verification (eq. 5/7)" (fun () ->
         let raw = Ibs.sign pub alice ~bytes_source:bs "designated" in
         let d = Dvs.designate pub raw ~verifier:"cloud-server" in

@@ -155,6 +155,59 @@ let montgomery_tests =
         check nat "x^0" Nat.one (Montgomery.pow ctx (Nat.of_int 7) Nat.zero));
   ]
 
+let montgomery_arith_tests =
+  let open Util in
+  [
+    case "montgomery add/sub/neg/double at the edges (0, 1, p-1)" (fun () ->
+        let p = Nat.of_decimal "1000000007" in
+        let pm1 = Nat.sub p Nat.one in
+        let ctx = Montgomery.create p in
+        let m v = Montgomery.to_mont ctx v in
+        let out v = Montgomery.of_mont ctx v in
+        check nat "(p-1) + 1 = 0" Nat.zero
+          (out (Montgomery.add ctx (m pm1) (m Nat.one)));
+        check nat "(p-1) + (p-1) = p-2" (Nat.sub p Nat.two)
+          (out (Montgomery.add ctx (m pm1) (m pm1)));
+        check nat "0 - 1 = p-1" pm1
+          (out (Montgomery.sub ctx (m Nat.zero) (m Nat.one)));
+        check nat "neg 0 = 0" Nat.zero (out (Montgomery.neg ctx (m Nat.zero)));
+        check nat "neg 1 = p-1" pm1 (out (Montgomery.neg ctx (m Nat.one)));
+        check nat "neg (p-1) = 1" Nat.one (out (Montgomery.neg ctx (m pm1)));
+        check nat "double (p-1) = p-2" (Nat.sub p Nat.two)
+          (out (Montgomery.double ctx (m pm1)));
+        check nat "double 0 = 0" Nat.zero
+          (out (Montgomery.double ctx (m Nat.zero))));
+    case "montgomery of_int, is_zero, equal" (fun () ->
+        let ctx = Montgomery.create (Nat.of_int 1009) in
+        check nat "of_int" (Nat.of_int 42)
+          (Montgomery.of_mont ctx (Montgomery.of_int ctx 42));
+        check nat "of_int reduces" (Nat.of_int 1)
+          (Montgomery.of_mont ctx (Montgomery.of_int ctx 1010));
+        check Alcotest.bool "zero is_zero" true
+          (Montgomery.is_zero (Montgomery.zero ctx));
+        check Alcotest.bool "one not is_zero" false
+          (Montgomery.is_zero (Montgomery.one ctx));
+        check Alcotest.bool "equal canonical" true
+          (Montgomery.equal (Montgomery.of_int ctx 1010) (Montgomery.of_int ctx 1));
+        check Alcotest.bool "distinct" false
+          (Montgomery.equal (Montgomery.of_int ctx 1) (Montgomery.of_int ctx 2)));
+    case "montgomery inv at the edges and against mul" (fun () ->
+        let p = Nat.of_decimal "32416190071" in
+        let pm1 = Nat.sub p Nat.one in
+        let ctx = Montgomery.create p in
+        let m v = Montgomery.to_mont ctx v in
+        check nat "inv 1 = 1" Nat.one
+          (Montgomery.of_mont ctx (Montgomery.inv ctx (m Nat.one)));
+        (* p-1 is its own inverse: (p-1)^2 = 1 mod p. *)
+        check nat "inv (p-1) = p-1" pm1
+          (Montgomery.of_mont ctx (Montgomery.inv ctx (m pm1)));
+        let a = m (Nat.of_decimal "31415926535") in
+        check nat "a * inv a = 1" Nat.one
+          (Montgomery.of_mont ctx (Montgomery.mul ctx a (Montgomery.inv ctx a)));
+        Alcotest.check_raises "inv 0" Not_found (fun () ->
+            ignore (Montgomery.inv ctx (m Nat.zero))));
+  ]
+
 let montgomery_property_tests =
   let open Util in
   [
@@ -173,6 +226,26 @@ let montgomery_property_tests =
         let mc = Montgomery.create m and mo = Modular.create m in
         Nat.equal (Montgomery.pow mc b (Nat.of_int e))
           (Modular.pow mo b (Nat.of_int e)));
+    qcheck ~count:80 "montgomery add/sub/neg/double == barrett"
+      (QCheck2.Gen.triple gen_odd_mod gen_nat_small gen_nat_small)
+      (fun (m, a, b) ->
+        let mc = Montgomery.create m and mo = Modular.create m in
+        let am = Montgomery.to_mont mc a and bm = Montgomery.to_mont mc b in
+        let ar = Modular.reduce mo a and br = Modular.reduce mo b in
+        let out = Montgomery.of_mont mc in
+        Nat.equal (out (Montgomery.add mc am bm)) (Modular.add mo ar br)
+        && Nat.equal (out (Montgomery.sub mc am bm)) (Modular.sub mo ar br)
+        && Nat.equal (out (Montgomery.neg mc am)) (Modular.neg mo ar)
+        && Nat.equal (out (Montgomery.double mc am)) (Modular.add mo ar ar));
+    qcheck ~count:40 "montgomery inv: a * inv a = 1 when coprime"
+      (QCheck2.Gen.pair gen_odd_mod gen_nat_small)
+      (fun (m, a) ->
+        let mc = Montgomery.create m in
+        let am = Montgomery.to_mont mc a in
+        match Montgomery.inv mc am with
+        | ai -> Nat.is_one (Montgomery.of_mont mc (Montgomery.mul mc am ai))
+        | exception Not_found ->
+          not (Nat.is_one (Modular.gcd (Nat.rem a m) m)));
   ]
 
 let jacobi_tests =
@@ -219,5 +292,5 @@ let jacobi_tests =
   ]
 
 let suite =
-  unit_tests @ property_tests @ montgomery_tests @ montgomery_property_tests
-  @ jacobi_tests
+  unit_tests @ property_tests @ montgomery_tests @ montgomery_arith_tests
+  @ montgomery_property_tests @ jacobi_tests

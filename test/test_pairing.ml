@@ -115,6 +115,83 @@ let unit_tests =
                  ~q:(Nat.to_hex prm.Params.q) ~cofactor:"5" ~gx:"1" ~gy:"1")));
   ]
 
+(* The Montgomery-domain projective hot path against the affine
+   Barrett-domain oracle, on both parameter sets. *)
+let cross_validation_tests =
+  let open Util in
+  let cross_check name prm n =
+    case name (fun () ->
+        let bs = fresh_bs ("cross-" ^ name) in
+        let g = prm.Params.g in
+        for i = 1 to n do
+          let a = Params.random_scalar prm ~bytes_source:bs in
+          let b = Params.random_scalar prm ~bytes_source:bs in
+          let pa = Curve.mul prm.Params.curve a g in
+          let pb = Curve.mul prm.Params.curve b g in
+          if
+            not
+              (Tate.gt_equal (Tate.pairing prm pa pb)
+                 (Tate.pairing_affine prm pa pb))
+          then Alcotest.failf "mismatch at sample %d" i
+        done)
+  in
+  [
+    cross_check "montgomery projective = affine oracle, 50 pairs (toy)" prm 50;
+    cross_check "montgomery projective = affine oracle, 50 pairs (small)"
+      (Lazy.force Params.small) 50;
+  ]
+
+let multi_pairing_tests =
+  let open Util in
+  [
+    case "multi_pairing equals the product of pairings" (fun () ->
+        let pairs =
+          List.init 4 (fun _ ->
+              let a = Params.random_scalar prm ~bytes_source:bs in
+              let b = Params.random_scalar prm ~bytes_source:bs in
+              ( Curve.mul prm.Params.curve a g,
+                Curve.mul prm.Params.curve b g ))
+        in
+        let product =
+          List.fold_left
+            (fun acc (p, q) -> Tate.gt_mul prm acc (Tate.pairing prm p q))
+            Tate.gt_one pairs
+        in
+        check gt "product" product (Tate.multi_pairing prm pairs));
+    case "multi_pairing bilinearity: [(aP,Q);(P,bQ)] = e(P,Q)^(a+b)" (fun () ->
+        let a = Params.random_scalar prm ~bytes_source:bs in
+        let b = Params.random_scalar prm ~bytes_source:bs in
+        let p = Curve.mul prm.Params.curve (Nat.of_int 5) g in
+        let q = Curve.mul prm.Params.curve (Nat.of_int 7) g in
+        let pa = Curve.mul prm.Params.curve a p in
+        let qb = Curve.mul prm.Params.curve b q in
+        check gt "e(aP,Q)*e(P,bQ)"
+          (Tate.gt_pow prm (Tate.pairing prm p q)
+             (Nat.rem (Nat.add a b) prm.Params.q))
+          (Tate.multi_pairing prm [ pa, q; p, qb ]));
+    case "multi_pairing of the empty list is one" (fun () ->
+        check gt "empty" Tate.gt_one (Tate.multi_pairing prm []));
+    case "multi_pairing skips infinity pairs" (fun () ->
+        check gt "with infinity"
+          (Tate.pairing prm g g)
+          (Tate.multi_pairing prm
+             [ g, g; Curve.infinity, g; g, Curve.infinity ]));
+    case "multi_pairing counts as one pairing" (fun () ->
+        Tate.reset_pairing_count ();
+        ignore (Tate.multi_pairing prm [ g, g; g, g; g, g ]);
+        check Alcotest.int "one" 1 (Tate.pairings_performed ());
+        Tate.reset_pairing_count ();
+        ignore (Tate.multi_pairing prm [ Curve.infinity, g ]);
+        check Alcotest.int "all-skipped counts zero" 0
+          (Tate.pairings_performed ()));
+    case "gt_inv inverts non-unitary elements too" (fun () ->
+        (* 2 + 0i is not unitary; the guarded gt_inv must still return
+           a true inverse rather than the conjugate. *)
+        let two = Sc_field.Fp2.of_base (Sc_field.Fp.of_int prm.Params.fp 2) in
+        check gt "2 * 2^-1 = 1" Tate.gt_one
+          (Tate.gt_mul prm two (Tate.gt_inv prm two)));
+  ]
+
 let property_tests =
   let open Util in
   [
@@ -141,4 +218,5 @@ let property_tests =
           (Tate.gt_pow prm e (Nat.rem (Nat.add a b) prm.Params.q)));
   ]
 
-let suite = unit_tests @ property_tests
+let suite =
+  unit_tests @ cross_validation_tests @ multi_pairing_tests @ property_tests
