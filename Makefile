@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test bench bench-check repro clean
+.PHONY: build test bench bench-check metrics-check repro clean
 
 build:
 	dune build
@@ -13,11 +13,19 @@ bench:
 	dune exec bench/main.exe
 
 # One command between you and a perf regression: build, run the tier-1
-# suite, then the quick pairing bench (writes BENCH_pairing.json).
+# suite, then the quick pairing bench (writes BENCH_pairing.json) and
+# the cost-invariant check.
 bench-check:
 	dune build
 	dune runtest
 	dune exec bench/quick.exe
+	$(MAKE) metrics-check
+
+# Runs a representative workload and fails when a verification-cost
+# invariant regresses (e.g. Ibs.verify back to 2 pairings, or a
+# batched audit of k jobs costing more than k+1 equations).
+metrics-check:
+	dune exec bin/seccloud_cli.exe -- stats --params toy --check
 
 repro:
 	dune exec bin/repro.exe -- all

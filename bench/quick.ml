@@ -52,22 +52,57 @@ let () =
   let pub = Sc_ibc.Setup.public sio in
   let alice = Sc_ibc.Setup.extract sio "alice" in
   let s = Sc_ibc.Ibs.sign pub alice ~bytes_source:bs "bench" in
+  let batch8 =
+    List.init 8 (fun i ->
+        let m = Printf.sprintf "bench-%d" i in
+        "alice", m, Sc_ibc.Ibs.sign pub alice ~bytes_source:bs m)
+  in
+  let results =
+    results
+    @ [
+        ( "ibs_verify(toy)",
+          time_ns ~iters:50 (fun () ->
+              Sc_ibc.Ibs.verify pub ~signer:"alice" ~msg:"bench" s) );
+        ( "ibs_verify_batch(t=8,toy)",
+          time_ns ~iters:20 (fun () -> Sc_ibc.Ibs.verify_batch pub batch8) );
+      ]
+  in
+  (* One-shot counter deltas, read back from the telemetry registry. *)
+  let module Telemetry = Sc_telemetry.Telemetry in
   Tate.reset_pairing_count ();
   assert (Sc_ibc.Ibs.verify pub ~signer:"alice" ~msg:"bench" s);
   let ibs_verify_pairings = Tate.pairings_performed () in
+  let h0 = Telemetry.counter_value "hash.sha256.digests" in
+  assert (Sc_ibc.Ibs.verify pub ~signer:"alice" ~msg:"bench" s);
+  let ibs_verify_sha256 = Telemetry.counter_value "hash.sha256.digests" - h0 in
+  Tate.reset_pairing_count ();
+  assert (Sc_ibc.Ibs.verify_batch pub batch8);
+  let ibs_verify_batch8_pairings = Tate.pairings_performed () in
+  let counters =
+    [
+      "ibs_verify_pairings", ibs_verify_pairings;
+      "ibs_verify_sha256_digests", ibs_verify_sha256;
+      "ibs_verify_batch8_pairings", ibs_verify_batch8_pairings;
+    ]
+  in
   let json =
-    Printf.sprintf "{\n%s,\n  \"ibs_verify_pairings\": %d\n}\n"
+    Printf.sprintf "{\n%s,\n%s\n}\n"
       (String.concat ",\n"
          (List.map
             (fun (name, ns) -> Printf.sprintf "  %S: %.0f" name ns)
             results))
-      ibs_verify_pairings
+      (String.concat ",\n"
+         (List.map
+            (fun (name, v) -> Printf.sprintf "  %S: %d" name v)
+            counters))
   in
   let oc = open_out "BENCH_pairing.json" in
   output_string oc json;
   close_out oc;
   List.iter
-    (fun (name, ns) -> Printf.printf "%-24s %12.1f us/op\n" name (ns /. 1e3))
+    (fun (name, ns) -> Printf.printf "%-28s %12.1f us/op\n" name (ns /. 1e3))
     results;
-  Printf.printf "%-24s %12d\n" "ibs_verify_pairings" ibs_verify_pairings;
+  List.iter
+    (fun (name, v) -> Printf.printf "%-28s %12d\n" name v)
+    counters;
   print_endline "wrote BENCH_pairing.json"

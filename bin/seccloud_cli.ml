@@ -14,6 +14,9 @@ let preset_of = function
   | "mid" -> Sc_pairing.Params.mid
   | s -> invalid_arg (Printf.sprintf "unknown preset %S" s)
 
+module Telemetry = Sc_telemetry.Telemetry
+module Tate = Sc_pairing.Tate
+
 let demo verbose preset seed =
   setup_logging verbose;
   let system =
@@ -97,8 +100,148 @@ let simulate epochs servers byzantine users seed =
     (Sc_sim.Engine.detection_rate stats)
     stats.Sc_sim.Engine.total_bytes
 
+(* The instrumented workload behind `stats`: one pass over Protocols
+   I-III plus a batched two-job audit, with every exchange charged
+   through the wire codec so the registry ends up holding exactly what
+   a deployment of this size costs.  Returns the measured
+   pairings-per-operation figures the --check invariants gate on. *)
+let stats_workload preset seed =
+  Telemetry.reset ();
+  Telemetry.with_span ~name:"stats.workload" @@ fun () ->
+  let system =
+    Seccloud.System.create ~params:(preset_of preset) ~seed
+      ~cs_ids:[ "cs-1"; "cs-2" ] ~da_id:"da" ()
+  in
+  let pub = Seccloud.System.public system in
+  let da_key = Seccloud.System.da_key system in
+  let user = Seccloud.User.create system ~id:"alice" in
+  let cloud = Seccloud.Cloud.create system ~id:"cs-1" () in
+  let cloud2 = Seccloud.Cloud.create system ~id:"cs-2" () in
+  let da = Seccloud.Agency.create system in
+  let drbg = Sc_hash.Drbg.create ~seed:("stats-data:" ^ seed) in
+  let bs = Sc_hash.Drbg.bytes_source drbg in
+  let payloads =
+    List.init 16 (fun i ->
+        Sc_storage.Block.encode_ints
+          (List.init 8 (fun j -> i + j + Sc_hash.Drbg.uniform_int drbg 50)))
+  in
+  (* Protocol II: signed upload, charged over the wire. *)
+  let upload = Seccloud.User.sign_file user ~cs_id:"cs-1" ~file:"ledger" payloads in
+  ignore (Seccloud.Wire.encode pub (Seccloud.Wire.Upload upload));
+  assert (Seccloud.Cloud.accept_upload cloud upload);
+  (* Protocol I probe: pairings for one designated IBS verification. *)
+  let probe_key = Seccloud.System.register_user system "probe" in
+  let s = Sc_ibc.Ibs.sign pub probe_key ~bytes_source:bs "probe-msg" in
+  let p0 = Tate.pairings_performed () in
+  assert (Sc_ibc.Ibs.verify pub ~signer:"probe" ~msg:"probe-msg" s);
+  let ibs_pairings = Tate.pairings_performed () - p0 in
+  (* Storage audit: batched designated verification. *)
+  let report =
+    Seccloud.Agency.audit_storage_batched da cloud ~owner:"alice" ~file:"ledger"
+      ~samples:8
+  in
+  assert report.Seccloud.Agency.intact;
+  (* Protocol III + Algorithm 1 audit round, wire-charged. *)
+  let warrant =
+    Seccloud.User.delegate_audit user ~now:0.0 ~lifetime:3600.0
+      ~scope:"audit ledger"
+  in
+  let audit_round cloud file samples =
+    let upload =
+      Seccloud.User.sign_file user ~cs_id:(Seccloud.Cloud.id cloud) ~file
+        payloads
+    in
+    assert (Seccloud.Cloud.accept_upload cloud upload);
+    let service =
+      Sc_compute.Task.random_service ~drbg ~n_positions:16 ~n_tasks:8
+    in
+    let execution =
+      Seccloud.Cloud.execute cloud ~owner:"alice" ~file service
+    in
+    let commitment = Sc_audit.Protocol.commitment_of_execution execution in
+    let challenge =
+      Sc_audit.Protocol.make_challenge ~drbg
+        ~n_tasks:commitment.Sc_audit.Protocol.n_tasks ~samples ~warrant
+    in
+    match Sc_audit.Protocol.respond pub ~now:1.0 execution challenge with
+    | None -> invalid_arg "stats: warrant rejected"
+    | Some responses ->
+      ignore
+        (Seccloud.Wire.encode pub
+           (Seccloud.Wire.Compute_commitment
+              { results = Sc_compute.Executor.results execution; commitment }));
+      ignore
+        (Seccloud.Wire.encode pub
+           (Seccloud.Wire.Audit_challenge { owner = "alice"; file; challenge }));
+      ignore (Seccloud.Wire.encode pub (Seccloud.Wire.Audit_response responses));
+      { Sc_audit.Batch.owner = "alice"; commitment; challenge; responses }
+  in
+  let job = audit_round cloud "ledger" 4 in
+  let verdict =
+    Sc_audit.Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner:"alice"
+      job.Sc_audit.Batch.commitment job.Sc_audit.Batch.challenge
+      job.Sc_audit.Batch.responses
+  in
+  assert verdict.Sc_audit.Protocol.valid;
+  (* Batched audit: two jobs, one round of aggregate equations. *)
+  let jobs = [ job; audit_round cloud2 "ledger-2" 4 ] in
+  let p0 = Tate.pairings_performed () in
+  let batch_verdict =
+    Sc_audit.Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da jobs
+  in
+  let batch_pairings = Tate.pairings_performed () - p0 in
+  assert batch_verdict.Sc_audit.Protocol.valid;
+  ibs_pairings, List.length jobs, batch_pairings
+
+let stats verbose preset seed trace check =
+  setup_logging verbose;
+  let run () = stats_workload preset seed in
+  let ibs_pairings, batch_jobs, batch_pairings =
+    match trace with
+    | Some path -> Telemetry.with_trace_file path run
+    | None -> run ()
+  in
+  Printf.printf
+    "Telemetry after one instrumented workload (params=%s): Protocols I-III, \
+     a batched storage audit and a %d-job batched computation audit.\n\n"
+    preset batch_jobs;
+  Telemetry.print_tree stdout;
+  (match trace with
+  | Some path -> Printf.printf "\nspan trace (JSONL) written to %s\n" path
+  | None -> ());
+  if check then begin
+    Printf.printf "\ncost invariants:\n";
+    let failures = ref 0 in
+    let invariant name measured bound =
+      let ok = measured <= bound in
+      if not ok then incr failures;
+      Printf.printf "  %-52s %d (bound %d) %s\n" name measured bound
+        (if ok then "ok" else "FAIL")
+    in
+    invariant "Ibs.verify pairings per signature" ibs_pairings 1;
+    invariant
+      (Printf.sprintf "batched audit pairings for k=%d jobs (<= k+1)"
+         batch_jobs)
+      batch_pairings (batch_jobs + 1);
+    invariant "pairing count matches single+multi+affine breakdown"
+      (abs
+         (Telemetry.counter_value "pairing.count"
+         - (Telemetry.counter_value "pairing.single"
+           + Telemetry.counter_value "pairing.multi"
+           + Telemetry.counter_value "pairing.affine")))
+      0;
+    if !failures > 0 then begin
+      Printf.printf "%d invariant(s) regressed\n" !failures;
+      exit 1
+    end
+    else Printf.printf "all invariants hold\n"
+  end
+
 let preset_arg =
-  Arg.(value & opt string "toy" & info [ "params" ] ~doc:"Parameter preset.")
+  Arg.(
+    value
+    & opt string "toy"
+    & info [ "params"; "preset" ] ~doc:"Parameter preset.")
 
 let seed_arg =
   Arg.(value & opt string "cli" & info [ "seed" ] ~doc:"Deterministic seed.")
@@ -118,6 +261,25 @@ let samplesize_cmd =
   Cmd.v (Cmd.info "samplesize" ~doc:"Required audit sample size (Figure 4 math)")
     Term.(const samplesize $ csc $ ssc $ range $ eps)
 
+let stats_cmd =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL span trace to $(docv).")
+  in
+  let check =
+    Arg.(
+      value
+      & flag
+      & info [ "check" ]
+          ~doc:"Enforce protocol cost invariants; exit 1 on regression.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run an instrumented demo/audit workload and print the metrics tree")
+    Term.(const stats $ verbose_arg $ preset_arg $ seed_arg $ trace $ check)
+
 let simulate_cmd =
   let epochs = Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Epochs.") in
   let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Cloud servers.") in
@@ -128,4 +290,6 @@ let simulate_cmd =
 
 let () =
   let info = Cmd.info "seccloud" ~version:"1.0" ~doc:"SecCloud demo CLI" in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; samplesize_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ demo_cmd; samplesize_cmd; simulate_cmd; stats_cmd ]))

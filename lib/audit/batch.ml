@@ -6,6 +6,10 @@ module Executor = Sc_compute.Executor
 module Task = Sc_compute.Task
 module Signer = Sc_storage.Signer
 module Block = Sc_storage.Block
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_batch_rounds = Telemetry.counter "audit.batch.rounds"
+let c_batch_jobs = Telemetry.counter "audit.batch.jobs"
 
 type job = {
   owner : string;
@@ -57,6 +61,11 @@ let dvs_entry role job (resp : Executor.response) =
       }
 
 let verify_jobs pub ~verifier_key ~role jobs =
+  Telemetry.incr c_batch_rounds;
+  Telemetry.add c_batch_jobs (List.length jobs);
+  Telemetry.with_span ~name:"audit.batch_verify"
+    ~attrs:[ "jobs", string_of_int (List.length jobs) ]
+  @@ fun () ->
   let failures = ref [] in
   let fail f = failures := f :: !failures in
   let entries = ref [] in

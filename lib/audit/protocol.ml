@@ -5,6 +5,12 @@ module Merkle = Sc_merkle.Tree
 module Executor = Sc_compute.Executor
 module Task = Sc_compute.Task
 module Signer = Sc_storage.Signer
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_rounds = Telemetry.counter "audit.rounds"
+let c_samples_drawn = Telemetry.counter "audit.samples_drawn"
+let c_samples_checked = Telemetry.counter "audit.samples_checked"
+let c_blocks_recomputed = Telemetry.counter "audit.blocks_recomputed"
 
 type commitment = {
   root : string;
@@ -43,6 +49,7 @@ let pp_failure fmt = function
 
 let make_challenge ~drbg ~n_tasks ~samples ~warrant =
   let samples = min samples n_tasks in
+  Telemetry.add c_samples_drawn samples;
   let idx = Array.init n_tasks (fun i -> i) in
   for i = 0 to samples - 1 do
     let j = i + Sc_hash.Drbg.uniform_int drbg (n_tasks - i) in
@@ -62,6 +69,7 @@ let check_sample pub ~verifier_key ~role ~owner ~commitment
   let i = resp.Executor.task_index in
   let failures = ref [] in
   let fail f = failures := f :: !failures in
+  Telemetry.incr c_samples_checked;
   (match resp.Executor.read with
   | None -> fail (Signature_wrong i)
   | Some { Sc_storage.Server.claimed; signed } ->
@@ -70,6 +78,7 @@ let check_sample pub ~verifier_key ~role ~owner ~commitment
     if not (Signer.verify_block pub ~verifier_key ~role ~owner claimed signed)
     then fail (Signature_wrong i);
     (* 2. IsComputingWrong: recompute f_i on the claimed data. *)
+    Telemetry.incr c_blocks_recomputed;
     (match Task.eval resp.Executor.request.Task.func claimed with
     | Some y when y = resp.Executor.result -> ()
     | Some _ | None -> fail (Computing_wrong i));
@@ -88,6 +97,10 @@ let check_sample pub ~verifier_key ~role ~owner ~commitment
   !failures
 
 let verify pub ~verifier_key ~role ~owner commitment chal responses =
+  Telemetry.incr c_rounds;
+  Telemetry.with_span ~name:"audit.verify"
+    ~attrs:[ "samples", string_of_int (List.length chal.sample_indices) ]
+  @@ fun () ->
   let failures = ref [] in
   let fail f = failures := f :: !failures in
   (* Root commitment authenticity: Sig_CS(R). *)

@@ -2,6 +2,11 @@ module Server = Sc_storage.Server
 module Setup = Sc_ibc.Setup
 module Ibs = Sc_ibc.Ibs
 module Merkle = Sc_merkle.Tree
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_executions = Telemetry.counter "compute.executions"
+let c_tasks = Telemetry.counter "compute.tasks"
+let c_responses = Telemetry.counter "compute.responses"
 
 type behaviour =
   | Honest
@@ -45,6 +50,11 @@ let run pub ~cs_key ~server ~behaviour ~drbg ~owner ~file requests =
   let service_arr = Array.of_list requests in
   let n = Array.length service_arr in
   if n = 0 then invalid_arg "Executor.run: empty service";
+  Telemetry.incr c_executions;
+  Telemetry.add c_tasks n;
+  Telemetry.with_span ~name:"compute.execute"
+    ~attrs:[ "tasks", string_of_int n ]
+  @@ fun () ->
   let reads = Array.make n None in
   let committed = Array.make n 0 in
   let answers = Array.make n 0 in
@@ -148,6 +158,7 @@ let service e = Array.to_list e.service_arr
 let respond e i =
   if i < 0 || i >= Array.length e.service_arr
   then invalid_arg "Executor.respond: index out of bounds";
+  Telemetry.incr c_responses;
   {
     task_index = i;
     request = e.service_arr.(i);

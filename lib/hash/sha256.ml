@@ -4,6 +4,11 @@
 
 let m32 = 0xFFFFFFFF
 
+(* Paper cost accounting counts hash invocations alongside pairings;
+   one finalize = one digest, bytes are the message length fed. *)
+let c_digests = Sc_telemetry.Telemetry.counter "hash.sha256.digests"
+let c_bytes = Sc_telemetry.Telemetry.counter "hash.sha256.bytes"
+
 let k =
   [|
     0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b; 0x59f111f1;
@@ -107,6 +112,8 @@ let feed ctx s = feed_bytes ctx (Bytes.unsafe_of_string s)
 
 let finalize ctx =
   if ctx.finalized then invalid_arg "Sha256.finalize: already finalized";
+  Sc_telemetry.Telemetry.incr c_digests;
+  Sc_telemetry.Telemetry.add c_bytes ctx.total;
   let bit_len = ctx.total * 8 in
   (* Padding: 0x80, zeros, 64-bit big-endian length. *)
   let pad_len =

@@ -3,6 +3,12 @@ open Sc_ec
 module Params = Sc_pairing.Params
 module Tate = Sc_pairing.Tate
 module Hash_g1 = Sc_pairing.Hash_g1
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_sign = Telemetry.counter "ibs.sign"
+let c_verify = Telemetry.counter "ibs.verify"
+let c_verify_batch = Telemetry.counter "ibs.verify_batch"
+let c_verify_batch_sigs = Telemetry.counter "ibs.verify_batch_sigs"
 
 type t = { u : Curve.point; v : Curve.point }
 
@@ -11,6 +17,7 @@ let h2 (pub : Setup.public) ~u ~msg =
   Hash_g1.hash_to_scalar prm ("h2:" ^ Curve.to_bytes prm.curve u ^ ":" ^ msg)
 
 let sign (pub : Setup.public) (key : Setup.identity_key) ~bytes_source msg =
+  Telemetry.incr c_sign;
   let prm = pub.prm in
   let r = Params.random_scalar prm ~bytes_source in
   let u = Curve.mul prm.curve r key.q_id in
@@ -28,14 +35,16 @@ let verification_point (pub : Setup.public) ~q_id ~msg ~u =
    single 2-term multi-pairing (one shared Miller chain, one final
    exponentiation) instead of two full pairings. *)
 let verify (pub : Setup.public) ~signer ~msg { u; v } =
-  let prm = pub.prm in
-  Curve.on_curve prm.curve u
-  && Curve.on_curve prm.curve v
-  &&
-  let q_id = Setup.q_of_id pub signer in
-  let w = verification_point pub ~q_id ~msg ~u in
-  Tate.gt_is_one
-    (Tate.multi_pairing prm [ v, prm.g; Curve.neg prm.curve w, pub.p_pub ])
+  Telemetry.incr c_verify;
+  Telemetry.with_span ~name:"ibs.verify" (fun () ->
+      let prm = pub.prm in
+      Curve.on_curve prm.curve u
+      && Curve.on_curve prm.curve v
+      &&
+      let q_id = Setup.q_of_id pub signer in
+      let w = verification_point pub ~q_id ~msg ~u in
+      Tate.gt_is_one
+        (Tate.multi_pairing prm [ v, prm.g; Curve.neg prm.curve w, pub.p_pub ]))
 
 let to_bytes (pub : Setup.public) { u; v } =
   let c = pub.prm.curve in
@@ -67,8 +76,13 @@ let of_bytes (pub : Setup.public) s =
 let verify_batch (pub : Setup.public) entries =
   entries = []
   ||
-  let prm = pub.prm in
-  List.for_all
+  (Telemetry.incr c_verify_batch;
+   Telemetry.add c_verify_batch_sigs (List.length entries);
+   Telemetry.with_span ~name:"ibs.verify_batch"
+     ~attrs:[ "sigs", string_of_int (List.length entries) ]
+   @@ fun () ->
+   let prm = pub.prm in
+   List.for_all
     (fun (_, _, { u; v }) ->
       Curve.on_curve prm.curve u && Curve.on_curve prm.curve v)
     entries
@@ -96,6 +110,6 @@ let verify_batch (pub : Setup.public) entries =
       (Curve.infinity, Curve.infinity, 0)
       entries
   in
-  Tate.gt_is_one
-    (Tate.multi_pairing prm
-       [ v_sum, prm.g; Curve.neg prm.curve w_sum, pub.p_pub ])
+   Tate.gt_is_one
+     (Tate.multi_pairing prm
+        [ v_sum, prm.g; Curve.neg prm.curve w_sum, pub.p_pub ]))

@@ -6,6 +6,13 @@ type t = { levels : string array array }
 type side = L | R
 type proof = { leaf_index : int; path : (side * string) list }
 
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_builds = Telemetry.counter "merkle.builds"
+let c_leaves = Telemetry.counter "merkle.leaves_built"
+let c_proofs = Telemetry.counter "merkle.proofs_issued"
+let c_proof_checks = Telemetry.counter "merkle.proof_checks"
+
 let leaf_hash payload = Sc_hash.Sha256.digest_concat [ "leaf:"; payload ]
 let node_hash left right = Sc_hash.Sha256.digest_concat [ "node:"; left; right ]
 
@@ -26,7 +33,11 @@ let build_levels leaf_hashes =
 
 let build_of_hashes hashes =
   if hashes = [] then invalid_arg "Merkle.build: empty leaf list";
-  { levels = build_levels (Array.of_list hashes) }
+  Telemetry.incr c_builds;
+  Telemetry.add c_leaves (List.length hashes);
+  Telemetry.with_span ~name:"merkle.build"
+    ~attrs:[ "leaves", string_of_int (List.length hashes) ]
+    (fun () -> { levels = build_levels (Array.of_list hashes) })
 
 let build payloads = build_of_hashes (List.map leaf_hash payloads)
 let root t = t.levels.(Array.length t.levels - 1).(0)
@@ -39,6 +50,7 @@ let leaf t i =
 
 let proof t i =
   if i < 0 || i >= size t then invalid_arg "Merkle.proof: index out of bounds";
+  Telemetry.incr c_proofs;
   let rec collect level idx acc =
     if level >= Array.length t.levels - 1 then List.rev acc
     else begin
@@ -63,6 +75,7 @@ let fold_path ~leaf_hash:h path =
 let root_from_proof ~leaf_hash p = fold_path ~leaf_hash p.path
 
 let verify_proof_hash ~root ~leaf_hash p =
+  Telemetry.incr c_proof_checks;
   String.equal root (fold_path ~leaf_hash p.path)
 
 let verify_proof ~root ~leaf_payload p =

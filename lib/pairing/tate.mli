@@ -52,9 +52,14 @@ val gt_pow : Params.t -> gt -> Nat.t -> gt
 
 val pairings_performed : unit -> int
 (** Process-wide count of pairing evaluations — the evaluation section
-    compares schemes by pairing counts, so the library keeps a tally. *)
+    compares schemes by pairing counts, so the library keeps a tally.
+    Thin shim over the telemetry registry counter [pairing.count]
+    (siblings [pairing.single]/[pairing.multi]/[pairing.multi_terms]/
+    [pairing.affine]/[pairing.final_expo] break the total down). *)
 
 val reset_pairing_count : unit -> unit
+(** Zeroes [pairing.count] only; the breakdown counters are reset via
+    [Telemetry.reset]. *)
 
 val gt_to_bytes : Params.t -> gt -> string
 (** Fixed-width [re ‖ im] big-endian encoding. *)

@@ -11,6 +11,8 @@ module Warrant = Sc_ibc.Warrant
 module Curve = Sc_ec.Curve
 module Tate = Sc_pairing.Tate
 
+module Telemetry = Sc_telemetry.Telemetry
+
 exception Decode_error = Codec.Decode_error
 
 type msg =
@@ -25,6 +27,43 @@ type msg =
   | Audit_challenge of { owner : string; file : string; challenge : Protocol.challenge }
   | Audit_response of Executor.response list
   | Ack of { ok : bool; detail : string }
+
+(* Per-message-kind byte accounting: [wire.tx.*] counts every encode
+   (including [size] probes — exactly what the simulator charges the
+   network for), [wire.rx.*] every successful decode. *)
+
+let kind_name = function
+  | Upload _ -> "upload"
+  | Storage_challenge _ -> "storage_challenge"
+  | Storage_response _ -> "storage_response"
+  | Compute_request _ -> "compute_request"
+  | Compute_commitment _ -> "compute_commitment"
+  | Audit_challenge _ -> "audit_challenge"
+  | Audit_response _ -> "audit_response"
+  | Ack _ -> "ack"
+
+let kinds =
+  [ "upload"; "storage_challenge"; "storage_response"; "compute_request";
+    "compute_commitment"; "audit_challenge"; "audit_response"; "ack" ]
+
+let counters_of prefix =
+  List.map
+    (fun kind ->
+      ( kind,
+        ( Telemetry.counter (Printf.sprintf "wire.%s.%s.msgs" prefix kind),
+          Telemetry.counter (Printf.sprintf "wire.%s.%s.bytes" prefix kind) ) ))
+    kinds
+
+let tx_by_kind = counters_of "tx"
+let rx_by_kind = counters_of "rx"
+let c_tx_bytes = Telemetry.counter "wire.tx.bytes"
+let c_rx_bytes = Telemetry.counter "wire.rx.bytes"
+
+let account by_kind total kind bytes =
+  let msgs, kind_bytes = List.assoc kind by_kind in
+  Telemetry.incr msgs;
+  Telemetry.add kind_bytes bytes;
+  Telemetry.add total bytes
 
 (* --- primitive serializers ----------------------------------------- *)
 
@@ -238,7 +277,9 @@ let encode pub msg =
     Codec.w_u8 b 8;
     Codec.w_bool b ok;
     Codec.w_bytes b detail);
-  Buffer.contents b
+  let data = Buffer.contents b in
+  account tx_by_kind c_tx_bytes (kind_name msg) (String.length data);
+  data
 
 let decode pub data =
   let r = Codec.reader data in
@@ -283,6 +324,7 @@ let decode pub data =
     | _ -> raise (Codec.Decode_error "unknown message tag")
   in
   Codec.expect_end r;
+  account rx_by_kind c_rx_bytes (kind_name msg) (String.length data);
   msg
 
 let size pub msg = String.length (encode pub msg)

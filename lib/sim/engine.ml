@@ -2,6 +2,10 @@ module Server = Sc_storage.Server
 module Executor = Sc_compute.Executor
 module Task = Sc_compute.Task
 module Optimal = Sc_audit.Optimal
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_epochs = Telemetry.counter "sim.epochs"
+let c_audits = Telemetry.counter "sim.audits"
 
 type config = {
   seed : string;
@@ -57,8 +61,13 @@ type stats = {
   records : Optimal.audit_record list;
 }
 
-(* Byte accounting uses the real wire encoding (Seccloud.Wire), so the
-   C_trans fed to Theorem 3's history learning is exact. *)
+(* Byte accounting uses the real wire encoding (Seccloud.Wire): each
+   exchange is encoded once and its cost read back as the delta of the
+   [wire.tx.bytes] registry counter, so the C_trans fed to Theorem 3's
+   history learning is exact and agrees with what any other traffic
+   source charges the same counter. *)
+
+let wire_tx_bytes () = Telemetry.counter_value "wire.tx.bytes"
 
 let run config =
   let system =
@@ -89,6 +98,10 @@ let run config =
   let outcomes = ref [] in
   let records = ref [] in
   let run_epoch epoch_idx =
+    Telemetry.incr c_epochs;
+    Telemetry.with_span ~name:"sim.epoch"
+      ~attrs:[ "epoch", string_of_int epoch_idx ]
+    @@ fun () ->
     Adversary.new_epoch adversary;
     (* Rebuild the fleet with this epoch's corruption assignment. *)
     let clouds =
@@ -114,9 +127,9 @@ let run config =
             payloads
         in
         let pub = Seccloud.System.public system in
-        let upload_bytes =
-          Seccloud.Wire.size pub (Seccloud.Wire.Upload upload)
-        in
+        let tx0 = wire_tx_bytes () in
+        ignore (Seccloud.Wire.encode pub (Seccloud.Wire.Upload upload));
+        let upload_bytes = wire_tx_bytes () - tx0 in
         let upload_delay = Network.record_transfer net ~bytes:upload_bytes in
         Event_queue.schedule queue ~delay:upload_delay (fun () ->
             (* Cheating servers skip the accept-time check. *)
@@ -152,19 +165,31 @@ let run config =
             let responses =
               Sc_audit.Protocol.respond pub ~now execution challenge
             in
-            let audit_bytes =
-              Seccloud.Wire.size pub
-                (Seccloud.Wire.Compute_commitment
-                   { results = Executor.results execution; commitment })
-              + Seccloud.Wire.size pub
-                  (Seccloud.Wire.Audit_challenge
-                     { owner = Seccloud.User.id user; file; challenge })
-              + (match responses with
-                | Some rs -> Seccloud.Wire.size pub (Seccloud.Wire.Audit_response rs)
-                | None -> 0)
-            in
+            let tx0 = wire_tx_bytes () in
+            ignore
+              (Seccloud.Wire.encode pub
+                 (Seccloud.Wire.Compute_commitment
+                    { results = Executor.results execution; commitment }));
+            ignore
+              (Seccloud.Wire.encode pub
+                 (Seccloud.Wire.Audit_challenge
+                    { owner = Seccloud.User.id user; file; challenge }));
+            (match responses with
+            | Some rs ->
+              ignore
+                (Seccloud.Wire.encode pub (Seccloud.Wire.Audit_response rs))
+            | None -> ());
+            let audit_bytes = wire_tx_bytes () - tx0 in
             let audit_delay = Network.record_transfer net ~bytes:audit_bytes in
             Event_queue.schedule queue ~delay:audit_delay (fun () ->
+                Telemetry.incr c_audits;
+                Telemetry.with_span ~name:"sim.audit"
+                  ~attrs:
+                    [
+                      "epoch", string_of_int epoch_idx;
+                      "server", Seccloud.Cloud.id cloud;
+                    ]
+                @@ fun () ->
                 let t0 = Sys.time () in
                 let storage_report =
                   Seccloud.Agency.audit_storage da cloud

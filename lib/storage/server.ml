@@ -1,3 +1,10 @@
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_stores = Telemetry.counter "storage.stores"
+let c_blocks_stored = Telemetry.counter "storage.blocks_stored"
+let c_reads = Telemetry.counter "storage.reads"
+let c_read_misses = Telemetry.counter "storage.read_misses"
+
 type behaviour =
   | Honest
   | Delete_fraction of float
@@ -21,7 +28,10 @@ let storage_confidence t =
   | Delete_fraction f | Corrupt_fraction f | Substitute_fraction f ->
     1.0 -. (max 0.0 (min 1.0 f))
 
-let store t (upload : Signer.upload) = Hashtbl.replace t.files upload.file upload.blocks
+let store t (upload : Signer.upload) =
+  Telemetry.incr c_stores;
+  Telemetry.add c_blocks_stored (Array.length upload.blocks);
+  Hashtbl.replace t.files upload.file upload.blocks
 
 let lookup t ~file ~index =
   match Hashtbl.find_opt t.files file with
@@ -52,8 +62,11 @@ let random_payload t n =
   String.map (fun c -> Char.chr (32 + (Char.code c mod 95))) raw
 
 let read t ~file ~index =
+  Telemetry.incr c_reads;
   match lookup t ~file ~index with
-  | None -> None
+  | None ->
+    Telemetry.incr c_read_misses;
+    None
   | Some (blocks, i) ->
     let sb = blocks.(i) in
     (match t.behaviour with

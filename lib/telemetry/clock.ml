@@ -1,0 +1,17 @@
+(* Nanoseconds since process start, clamped to be non-decreasing.
+   Unix.gettimeofday is the only wall clock available without extra
+   dependencies; the clamp turns it into a monotone source good enough
+   for span durations (an NTP step backwards freezes time instead of
+   producing negative durations). *)
+
+let epoch = Unix.gettimeofday ()
+let last = ref 0L
+
+let now_ns () =
+  let ns = Int64.of_float ((Unix.gettimeofday () -. epoch) *. 1e9) in
+  let ns = if Int64.compare ns !last < 0 then !last else ns in
+  last := ns;
+  ns
+
+let elapsed_ns since = Int64.sub (now_ns ()) since
+let ns_to_us ns = Int64.to_float ns /. 1e3

@@ -1,0 +1,13 @@
+(** Monotone process clock used for span timing.
+
+    Backed by [Unix.gettimeofday] and clamped so consecutive reads
+    never decrease; all values are nanoseconds relative to the first
+    load of the library. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since process start; non-decreasing across calls. *)
+
+val elapsed_ns : int64 -> int64
+(** [elapsed_ns t0] is [now_ns () - t0]. *)
+
+val ns_to_us : int64 -> float

@@ -1,0 +1,8 @@
+(** Tiny JSON string builders for the exporters (no external deps). *)
+
+val escape : string -> string
+val str : string -> string
+val int : int -> string
+val float : float -> string
+val obj : (string * string) list -> string
+val arr : string list -> string

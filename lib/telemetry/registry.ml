@@ -1,0 +1,210 @@
+(* Process-wide metrics registry.  Metrics are interned by name: the
+   first [counter]/[gauge]/[histogram] call for a name creates the
+   metric, later calls return the same object, so call sites can hold
+   the metric in a module-level binding and pay one hashtable lookup
+   per process, not per event.  [reset] zeroes values but keeps the
+   objects, so held references stay valid. *)
+
+type counter = { cname : string; mutable c : int }
+type gauge = { gname : string; mutable g : float }
+
+type histogram = {
+  hname : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length bounds + 1; last bucket is overflow *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* Microsecond-scaled latency buckets: 10 µs .. 10 s. *)
+let default_buckets = [| 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7 |]
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Telemetry: metric %S already registered with another kind"
+       name)
+
+let counter name =
+  match Hashtbl.find_opt table name with
+  | Some (C c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let c = { cname = name; c = 0 } in
+    Hashtbl.add table name (C c);
+    c
+
+let gauge name =
+  match Hashtbl.find_opt table name with
+  | Some (G g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let g = { gname = name; g = 0.0 } in
+    Hashtbl.add table name (G g);
+    g
+
+let histogram ?(buckets = default_buckets) name =
+  match Hashtbl.find_opt table name with
+  | Some (H h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    let bounds = Array.copy buckets in
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= bounds.(i - 1) then
+          invalid_arg "Telemetry.histogram: buckets must be strictly increasing")
+      bounds;
+    let h =
+      { hname = name; bounds; counts = Array.make (Array.length bounds + 1) 0;
+        sum = 0.0; n = 0 }
+    in
+    Hashtbl.add table name (H h);
+    h
+
+let incr c = c.c <- c.c + 1
+let add c v = c.c <- c.c + v
+let value c = c.c
+let reset_counter c = c.c <- 0
+let counter_name c = c.cname
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+let gauge_name g = g.gname
+
+(* First bucket whose upper bound admits v; the trailing bucket
+   catches everything above the last bound. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec find i = if i >= n || v <= bounds.(i) then i else find (i + 1) in
+  find 0
+
+let observe h v =
+  let i = bucket_index h.bounds v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1
+
+let histogram_name h = h.hname
+
+(* --- snapshots ---------------------------------------------------- *)
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type value_snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+let snapshot_histogram (h : histogram) =
+  { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
+    sum = h.sum; count = h.n }
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h -> Histogram (snapshot_histogram h)
+      in
+      (name, v) :: acc)
+    table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find name =
+  match Hashtbl.find_opt table name with
+  | None -> None
+  | Some (C c) -> Some (Counter c.c)
+  | Some (G g) -> Some (Gauge g.g)
+  | Some (H h) -> Some (Histogram (snapshot_histogram h))
+
+let counter_value name =
+  match Hashtbl.find_opt table name with Some (C c) -> c.c | _ -> 0
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.0
+      | H h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.sum <- 0.0;
+        h.n <- 0)
+    table
+
+(* --- export ------------------------------------------------------- *)
+
+let json_of_value = function
+  | Counter c -> Json.int c
+  | Gauge g -> Json.float g
+  | Histogram h ->
+    let buckets =
+      List.init (Array.length h.counts) (fun i ->
+          let le =
+            if i < Array.length h.bounds then Json.float h.bounds.(i)
+            else Json.str "inf"
+          in
+          Json.obj [ "le", le; "n", Json.int h.counts.(i) ])
+    in
+    Json.obj
+      [ "count", Json.int h.count; "sum", Json.float h.sum;
+        "buckets", Json.arr buckets ]
+
+let dump_json () =
+  Json.obj
+    (List.map (fun (name, v) -> name, json_of_value v) (snapshot ()))
+
+(* Tree renderer for the CLI: dotted names become an indented
+   hierarchy, values are right-aligned on the leaf lines. *)
+let pp_value = function
+  | Counter c -> string_of_int c
+  | Gauge g -> Printf.sprintf "%.3f" g
+  | Histogram h ->
+    if h.count = 0 then "hist n=0"
+    else
+      let mean = h.sum /. float_of_int h.count in
+      let buckets =
+        String.concat " "
+          (List.filteri
+             (fun _ s -> s <> "")
+             (List.init (Array.length h.counts) (fun i ->
+                  if h.counts.(i) = 0 then ""
+                  else if i < Array.length h.bounds then
+                    Printf.sprintf "le%g:%d" h.bounds.(i) h.counts.(i)
+                  else Printf.sprintf "inf:%d" h.counts.(i))))
+      in
+      Printf.sprintf "hist n=%d mean=%.1f [%s]" h.count mean buckets
+
+let print_tree oc =
+  let rec common_prefix a b i =
+    if i < List.length a && i < List.length b && List.nth a i = List.nth b i
+    then common_prefix a b (i + 1)
+    else i
+  in
+  let prev = ref [] in
+  List.iter
+    (fun (name, v) ->
+      let parts = String.split_on_char '.' name in
+      let segs = List.length parts in
+      let keep = common_prefix !prev parts 0 in
+      (* Print any newly-opened intermediate groups. *)
+      List.iteri
+        (fun i seg ->
+          if i >= keep && i < segs - 1 then
+            Printf.fprintf oc "%s%s\n" (String.make (2 * i) ' ') seg)
+        parts;
+      let leaf = List.nth parts (segs - 1) in
+      let indent = String.make (2 * (segs - 1)) ' ' in
+      Printf.fprintf oc "%-42s %s\n" (indent ^ leaf) (pp_value v);
+      prev := parts)
+    (snapshot ())

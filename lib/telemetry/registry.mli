@@ -1,0 +1,67 @@
+(** Process-wide metrics registry: named counters, gauges and
+    fixed-bucket histograms.
+
+    Metrics are interned by name — the first call for a name creates
+    the metric, later calls return the same object — so call sites
+    hold the metric in a module-level binding and increment without
+    any lookup.  {!reset} zeroes values but keeps the objects, so held
+    references stay valid across resets. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-create.  @raise Invalid_argument if the name is already
+    registered with a different kind. *)
+
+val gauge : string -> gauge
+val histogram : ?buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit
+    overflow bucket is appended.  Defaults to microsecond-scale
+    latency buckets 10¹..10⁷ µs. *)
+
+val default_buckets : float array
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset_counter : counter -> unit
+val counter_name : counter -> string
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+
+val observe : histogram -> float -> unit
+val histogram_name : histogram -> string
+
+(** {2 Snapshots} — deep copies, isolated from later updates. *)
+
+type hist_snapshot = {
+  bounds : float array;
+  counts : int array; (** length [bounds + 1]; last bucket is overflow *)
+  sum : float;
+  count : int;
+}
+
+type value_snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+val snapshot : unit -> (string * value_snapshot) list
+(** All registered metrics, sorted by name. *)
+
+val find : string -> value_snapshot option
+val counter_value : string -> int
+(** Current value of a counter by name; 0 when unregistered. *)
+
+val reset : unit -> unit
+(** Zero every metric (registrations survive). *)
+
+val dump_json : unit -> string
+(** One JSON object mapping metric name to value. *)
+
+val print_tree : out_channel -> unit
+(** Render the dotted metric namespace as an indented tree. *)

@@ -1,0 +1,76 @@
+(* Nested protocol spans over the monotone clock.  Every finished span
+   feeds a latency histogram [span.<name>] (microseconds) in the
+   registry; when a trace sink is installed it also emits one JSONL
+   object.  The span stack is per-process — the whole code base is
+   single-threaded, matching the rest of the library. *)
+
+type active = {
+  id : int;
+  name : string;
+  parent : int option;
+  depth : int;
+  start_ns : int64;
+  attrs : (string * string) list;
+}
+
+let next_id = ref 0
+let stack : active list ref = ref []
+let sink : (string -> unit) option ref = ref None
+
+let set_sink f = sink := f
+
+let emit_line sp dur_ns =
+  match !sink with
+  | None -> ()
+  | Some emit ->
+    let fields =
+      [
+        "name", Json.str sp.name;
+        "id", Json.int sp.id;
+        ( "parent",
+          match sp.parent with None -> "null" | Some p -> Json.int p );
+        "depth", Json.int sp.depth;
+        "start_us", Json.float (Clock.ns_to_us sp.start_ns);
+        "dur_us", Json.float (Clock.ns_to_us dur_ns);
+      ]
+      @
+      if sp.attrs = [] then []
+      else
+        [ ( "attrs",
+            Json.obj (List.map (fun (k, v) -> k, Json.str v) sp.attrs) ) ]
+    in
+    emit (Json.obj fields)
+
+let with_span ?(attrs = []) ~name f =
+  incr next_id;
+  let id = !next_id in
+  let parent, depth =
+    match !stack with
+    | [] -> None, 0
+    | top :: _ -> Some top.id, top.depth + 1
+  in
+  let sp = { id; name; parent; depth; start_ns = Clock.now_ns (); attrs } in
+  stack := sp :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      (match !stack with
+      | top :: rest when top.id = id -> stack := rest
+      | _ -> (* unbalanced exit via exception deeper in the stack *) ());
+      let dur = Clock.elapsed_ns sp.start_ns in
+      Registry.observe (Registry.histogram ("span." ^ name))
+        (Clock.ns_to_us dur);
+      emit_line sp dur)
+    f
+
+let current_depth () = List.length !stack
+
+let with_trace_channel oc f =
+  let prev = !sink in
+  sink := Some (fun line -> output_string oc (line ^ "\n"));
+  Fun.protect ~finally:(fun () -> sink := prev) f
+
+let with_trace_file path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> with_trace_channel oc f)

@@ -1,0 +1,24 @@
+(** Nested spans over the monotone clock.
+
+    Every finished span observes its duration (µs) into the registry
+    histogram [span.<name>]; with a trace sink installed it also emits
+    one JSON object per line: [{"name":…, "id":…, "parent":…,
+    "depth":…, "start_us":…, "dur_us":…, "attrs":{…}}]. *)
+
+val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  Spans nest: a span opened while
+    another is active records it as parent (exception-safe). *)
+
+val set_sink : (string -> unit) option -> unit
+(** Install/remove the JSONL line consumer. *)
+
+val with_trace_channel : out_channel -> (unit -> 'a) -> 'a
+(** Route span lines to the channel for the duration of the thunk,
+    restoring the previous sink afterwards. *)
+
+val with_trace_file : string -> (unit -> 'a) -> 'a
+(** [with_trace_file path f] truncates [path] and streams span JSONL
+    lines into it while [f] runs. *)
+
+val current_depth : unit -> int
+(** Number of currently-open spans (0 outside any span). *)

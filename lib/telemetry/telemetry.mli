@@ -1,0 +1,64 @@
+(** Unified telemetry: process-wide metrics registry plus nested
+    spans, with JSON / JSONL exporters.
+
+    Typical use at an instrumentation site:
+    {[
+      let c_reads = Telemetry.counter "storage.reads"
+
+      let read t ~file ~index =
+        Telemetry.incr c_reads;
+        ...
+    ]}
+    and around a protocol round:
+    {[
+      Telemetry.with_span ~name:"audit.verify"
+        ~attrs:[ "samples", string_of_int t ]
+        (fun () -> ...)
+    ]}
+
+    See {!Registry} and {!Span} for the underlying semantics. *)
+
+type counter = Registry.counter
+type gauge = Registry.gauge
+type histogram = Registry.histogram
+
+val counter : string -> counter
+val gauge : string -> gauge
+val histogram : ?buckets:float array -> string -> histogram
+val default_buckets : float array
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset_counter : counter -> unit
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val observe : histogram -> float -> unit
+
+type hist_snapshot = Registry.hist_snapshot = {
+  bounds : float array;
+  counts : int array;
+  sum : float;
+  count : int;
+}
+
+type value_snapshot = Registry.value_snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+val snapshot : unit -> (string * value_snapshot) list
+val find : string -> value_snapshot option
+val counter_value : string -> int
+val reset : unit -> unit
+val dump_json : unit -> string
+val print_tree : out_channel -> unit
+
+val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
+val set_sink : (string -> unit) option -> unit
+val with_trace_channel : out_channel -> (unit -> 'a) -> 'a
+val with_trace_file : string -> (unit -> 'a) -> 'a
+val current_depth : unit -> int
+
+val now_ns : unit -> int64
+val elapsed_ns : int64 -> int64

@@ -18,4 +18,5 @@ let () =
       "wire", Test_wire.suite;
       "erasure", Test_erasure.suite;
       "sim", Test_sim.suite;
+      "telemetry", Test_telemetry.suite;
     ]

@@ -1,0 +1,229 @@
+(* Telemetry layer: registry semantics, span nesting, exporters, and
+   the pairing-cost invariants the observability PR is meant to lock
+   in (one aggregate equation per batched audit, not 2t pairings). *)
+
+module Telemetry = Sc_telemetry.Telemetry
+module Tate = Sc_pairing.Tate
+
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Tiny JSON field scraping for JSONL trace lines (no json parser in
+   the test deps; the emitter writes flat one-line objects).           *)
+(* ------------------------------------------------------------------ *)
+
+let field line key =
+  let marker = Printf.sprintf "\"%s\":" key in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length line then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    let depth = ref 0 in
+    let in_str = ref false in
+    (try
+       while true do
+         let c = line.[!stop] in
+         (if !in_str then (
+            if c = '\\' then incr stop
+            else if c = '"' then in_str := false)
+          else
+            match c with
+            | '"' -> in_str := true
+            | '{' | '[' -> incr depth
+            | '}' | ']' when !depth > 0 -> decr depth
+            | ',' | '}' | ']' -> raise Exit
+            | _ -> ());
+         incr stop
+       done
+     with Exit | Invalid_argument _ -> ());
+    Some (String.sub line start (!stop - start))
+
+let float_field line key =
+  match field line key with
+  | Some s -> float_of_string s
+  | None -> Alcotest.failf "field %s missing in %s" key line
+
+let counters =
+  [
+    case "incr and add accumulate" (fun () ->
+        let c = Telemetry.counter "test.counter.a" in
+        Telemetry.reset_counter c;
+        Telemetry.incr c;
+        Telemetry.incr c;
+        Telemetry.add c 40;
+        check Alcotest.int "value" 42 (Telemetry.value c));
+    case "same name interns to the same counter" (fun () ->
+        let a = Telemetry.counter "test.counter.intern" in
+        let b = Telemetry.counter "test.counter.intern" in
+        Telemetry.reset_counter a;
+        Telemetry.incr a;
+        check Alcotest.int "visible via second handle" 1 (Telemetry.value b));
+    case "counter_value of absent name is 0" (fun () ->
+        check Alcotest.int "absent" 0
+          (Telemetry.counter_value "test.counter.never-created"));
+    case "kind mismatch is rejected" (fun () ->
+        ignore (Telemetry.counter "test.kind.clash");
+        match Telemetry.gauge "test.kind.clash" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    case "reset () zeroes values but keeps handles live" (fun () ->
+        let c = Telemetry.counter "test.counter.reset" in
+        Telemetry.add c 7;
+        Telemetry.reset ();
+        check Alcotest.int "zeroed" 0 (Telemetry.value c);
+        Telemetry.incr c;
+        check Alcotest.int "handle survives" 1
+          (Telemetry.counter_value "test.counter.reset"));
+  ]
+
+let histograms =
+  [
+    case "bucket boundaries: first bound with v <= bound" (fun () ->
+        let h =
+          Telemetry.histogram ~buckets:[| 1.0; 10.0; 100.0 |] "test.hist.b"
+        in
+        List.iter (Telemetry.observe h) [ 0.5; 1.0; 1.5; 10.0; 99.9; 1000.0 ];
+        match Telemetry.find "test.hist.b" with
+        | Some (Telemetry.Histogram s) ->
+          check Alcotest.(array (float 0.0)) "bounds" [| 1.0; 10.0; 100.0 |]
+            s.Telemetry.bounds;
+          check Alcotest.(array int) "counts incl. overflow" [| 2; 2; 1; 1 |]
+            s.Telemetry.counts;
+          check Alcotest.int "count" 6 s.Telemetry.count;
+          check Alcotest.(float 1e-9) "sum" 1112.9 s.Telemetry.sum
+        | _ -> Alcotest.fail "histogram not found");
+    case "snapshot is isolated from later mutation" (fun () ->
+        let c = Telemetry.counter "test.counter.snap" in
+        Telemetry.reset_counter c;
+        Telemetry.add c 3;
+        let snap = Telemetry.snapshot () in
+        Telemetry.add c 100;
+        match List.assoc_opt "test.counter.snap" snap with
+        | Some (Telemetry.Counter v) -> check Alcotest.int "frozen" 3 v
+        | _ -> Alcotest.fail "counter missing from snapshot");
+    case "dump_json mentions registered metrics" (fun () ->
+        ignore (Telemetry.counter "test.counter.dumped");
+        let js = Telemetry.dump_json () in
+        check Alcotest.bool "object" true (String.length js > 0 && js.[0] = '{');
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length s
+            && (String.sub s i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool "has name" true
+          (contains js "\"test.counter.dumped\""));
+  ]
+
+let spans =
+  [
+    case "nesting: parent id, depth, ordering, duration" (fun () ->
+        let lines = ref [] in
+        Telemetry.set_sink (Some (fun l -> lines := l :: !lines));
+        Fun.protect
+          ~finally:(fun () -> Telemetry.set_sink None)
+          (fun () ->
+            Telemetry.with_span ~name:"outer" (fun () ->
+                check Alcotest.int "depth inside outer" 1
+                  (Telemetry.current_depth ());
+                Telemetry.with_span ~name:"inner"
+                  ~attrs:[ "k", "v" ]
+                  (fun () ->
+                    check Alcotest.int "depth inside inner" 2
+                      (Telemetry.current_depth ()))));
+        check Alcotest.int "depth restored" 0 (Telemetry.current_depth ());
+        match List.rev !lines with
+        | [ inner; outer ] ->
+          (* children close (and emit) before their parent *)
+          check Alcotest.(option string) "inner name" (Some "\"inner\"")
+            (field inner "name");
+          check Alcotest.(option string) "outer parent null" (Some "null")
+            (field outer "parent");
+          check Alcotest.(option string) "inner parent = outer id"
+            (field outer "id") (field inner "parent");
+          check Alcotest.(option string) "outer depth" (Some "0")
+            (field outer "depth");
+          check Alcotest.(option string) "inner depth" (Some "1")
+            (field inner "depth");
+          check Alcotest.(option string) "attrs survive"
+            (Some {|{"k":"v"}|}) (field inner "attrs");
+          let s_out = float_field outer "start_us"
+          and s_in = float_field inner "start_us"
+          and d_out = float_field outer "dur_us"
+          and d_in = float_field inner "dur_us" in
+          check Alcotest.bool "child starts after parent" true (s_in >= s_out);
+          check Alcotest.bool "child within parent" true
+            (s_in +. d_in <= s_out +. d_out +. 1e-6)
+        | ls -> Alcotest.failf "expected 2 trace lines, got %d" (List.length ls));
+    case "with_span observes span.<name> histogram" (fun () ->
+        Telemetry.reset ();
+        let r = Telemetry.with_span ~name:"timed" (fun () -> 41 + 1) in
+        check Alcotest.int "returns body result" 42 r;
+        match Telemetry.find "span.timed" with
+        | Some (Telemetry.Histogram s) ->
+          check Alcotest.int "one observation" 1 s.Telemetry.count;
+          check Alcotest.bool "non-negative duration" true
+            (s.Telemetry.sum >= 0.0)
+        | _ -> Alcotest.fail "span histogram missing");
+    case "stack unwinds on exception" (fun () ->
+        (try
+           Telemetry.with_span ~name:"boom" (fun () -> failwith "boom")
+         with Failure _ -> ());
+        check Alcotest.int "depth back to 0" 0 (Telemetry.current_depth ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end cost accounting: the registry must report the batched
+   audit at one aggregate pairing equation, not 2t pairings.           *)
+(* ------------------------------------------------------------------ *)
+
+let e2e =
+  [
+    case "Ibs.verify costs exactly one pairing equation" (fun () ->
+        let system = Lazy.force shared_system in
+        let pub = Seccloud.System.public system in
+        let key = Seccloud.System.register_user system "tel-alice" in
+        let s = Sc_ibc.Ibs.sign pub key ~bytes_source:bs "tel-msg" in
+        let p0 = Tate.pairings_performed () in
+        check Alcotest.bool "verifies" true
+          (Sc_ibc.Ibs.verify pub ~signer:"tel-alice" ~msg:"tel-msg" s);
+        check Alcotest.int "one equation" 1 (Tate.pairings_performed () - p0));
+    case "batched storage audit is 1 multi-pairing, not 2t" (fun () ->
+        let system = Lazy.force shared_system in
+        let user = Seccloud.User.create system ~id:"tel-owner" in
+        let cloud = Seccloud.Cloud.create system ~id:"cs-1" () in
+        let payloads =
+          List.init 16 (fun i ->
+              Sc_storage.Block.encode_ints (List.init 4 (fun j -> i + j)))
+        in
+        check Alcotest.bool "stored" true
+          (Seccloud.User.store user cloud ~file:"tel-file" payloads);
+        let da = Seccloud.Agency.create system in
+        let samples = 8 in
+        let p0 = Tate.pairings_performed () in
+        let report =
+          Seccloud.Agency.audit_storage_batched da cloud ~owner:"tel-owner"
+            ~file:"tel-file" ~samples
+        in
+        check Alcotest.bool "intact" true report.Seccloud.Agency.intact;
+        check Alcotest.int "one aggregate equation" 1
+          (Tate.pairings_performed () - p0));
+    case "pairing breakdown counters reconcile with the total" (fun () ->
+        let total = Telemetry.counter_value "pairing.count" in
+        let parts =
+          Telemetry.counter_value "pairing.single"
+          + Telemetry.counter_value "pairing.multi"
+          + Telemetry.counter_value "pairing.affine"
+        in
+        check Alcotest.int "total = single + multi + affine" total parts);
+  ]
+
+let suite = counters @ histograms @ spans @ e2e
