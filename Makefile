@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test bench bench-check metrics-check repro clean
+.PHONY: build test test-slow bench bench-check metrics-check repro clean
 
 build:
 	dune build
@@ -8,24 +8,35 @@ build:
 test:
 	dune runtest
 
+# The whole suite including the `Slow conformance cases: Monte-Carlo
+# 3-sigma checks against eqs. (10)-(14) and lossy-channel engine
+# campaigns (ALCOTEST_QUICK_TESTS explicitly unset).
+test-slow:
+	env -u ALCOTEST_QUICK_TESTS dune exec test/test_main.exe
+
 # Full bechamel microbenchmark run (slow).
 bench:
 	dune exec bench/main.exe
 
-# One command between you and a perf regression: build, run the tier-1
-# suite, then the quick pairing bench (writes BENCH_pairing.json) and
-# the cost-invariant check.
+# One command between you and a perf regression: build, run the suite
+# including the slow conformance cases, then the quick pairing bench
+# (writes BENCH_pairing.json) and the cost-invariant check.
 bench-check:
 	dune build
-	dune runtest
+	$(MAKE) test-slow
 	dune exec bench/quick.exe
 	$(MAKE) metrics-check
 
 # Runs a representative workload and fails when a verification-cost
 # invariant regresses (e.g. Ibs.verify back to 2 pairings, or a
-# batched audit of k jobs costing more than k+1 equations).
+# batched audit of k jobs costing more than k+1 equations), then once
+# more over a seeded lossy transport (30% drop, 5% tamper): the audit
+# round must still terminate with typed verdicts, exercise the retry
+# path, and keep the attempt ledger consistent.
 metrics-check:
 	dune exec bin/seccloud_cli.exe -- stats --params toy --check
+	dune exec bin/seccloud_cli.exe -- stats --params toy --check \
+	  --drop 0.3 --tamper 0.05 --seed lossy
 
 repro:
 	dune exec bin/repro.exe -- all

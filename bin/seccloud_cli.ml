@@ -77,7 +77,7 @@ let samplesize csc ssc range eps =
       eps
   | None -> print_endline "no finite sample size reaches the target epsilon"
 
-let simulate epochs servers byzantine users seed =
+let simulate epochs servers byzantine users drop tamper seed =
   let config =
     {
       Sc_sim.Engine.default_config with
@@ -86,6 +86,7 @@ let simulate epochs servers byzantine users seed =
       n_servers = servers;
       byzantine_bound = byzantine;
       n_users = users;
+      faults = Seccloud.Transport.lossy ~drop ~tamper ();
     }
   in
   let stats = Sc_sim.Engine.run config in
@@ -98,14 +99,23 @@ let simulate epochs servers byzantine users seed =
     stats.Sc_sim.Engine.false_alarms stats.Sc_sim.Engine.honest_passed;
   Printf.printf "detection rate: %.2f; %d bytes over the network\n"
     (Sc_sim.Engine.detection_rate stats)
-    stats.Sc_sim.Engine.total_bytes
+    stats.Sc_sim.Engine.total_bytes;
+  if drop > 0.0 || tamper > 0.0 then
+    Printf.printf
+      "channel (drop=%.2f tamper=%.2f): %d rounds blamed on timeouts, %d on \
+       in-flight tampering\n"
+      drop tamper stats.Sc_sim.Engine.channel_timeouts
+      stats.Sc_sim.Engine.channel_tampering
 
 (* The instrumented workload behind `stats`: one pass over Protocols
    I-III plus a batched two-job audit, with every exchange charged
    through the wire codec so the registry ends up holding exactly what
-   a deployment of this size costs.  Returns the measured
-   pairings-per-operation figures the --check invariants gate on. *)
-let stats_workload preset seed =
+   a deployment of this size costs.  A final round runs the same
+   conversation through the fault-injectable transport (rates from
+   --drop/--tamper), so the registry also shows the retry/blame
+   counters.  Returns the measured pairings-per-operation figures the
+   --check invariants gate on, plus a transport-phase summary line. *)
+let stats_workload preset seed ~drop ~tamper =
   Telemetry.reset ();
   Telemetry.with_span ~name:"stats.workload" @@ fun () ->
   let system =
@@ -191,12 +201,87 @@ let stats_workload preset seed =
   in
   let batch_pairings = Tate.pairings_performed () - p0 in
   assert batch_verdict.Sc_audit.Protocol.valid;
-  ibs_pairings, List.length jobs, batch_pairings
+  (* The same conversation once more, this time as encoded Wire bytes
+     through the fault-injectable transport against a server
+     endpoint. *)
+  let server_ep = Seccloud.Endpoint.Server.create system cloud in
+  let da_ep = Seccloud.Endpoint.Da.create system in
+  let transport =
+    Seccloud.Transport.create
+      ~faults:(Seccloud.Transport.lossy ~drop ~tamper ())
+      ~drbg:(Sc_hash.Drbg.create ~seed:("stats-transport:" ^ seed))
+      ~peer:"cs-1" ~public:pub
+      ~handler:(Seccloud.Endpoint.Server.handle server_ep) ()
+  in
+  let uploaded =
+    Seccloud.User.store_over user ~transport ~cs_id:"cs-1" ~file:"wire-ledger"
+      payloads
+  in
+  let wire_commitment =
+    match uploaded with
+    | Error e -> Error e
+    | Ok _ -> (
+      let service =
+        Sc_compute.Task.random_service ~drbg ~n_positions:16 ~n_tasks:8
+      in
+      match
+        Seccloud.Transport.call transport ~expect:"compute_commitment"
+          (Seccloud.Wire.Compute_request
+             { owner = "alice"; file = "wire-ledger"; service })
+      with
+      | Ok (Seccloud.Wire.Compute_commitment { commitment; _ }) ->
+        Ok commitment
+      | Ok _ -> Error Seccloud.Transport.Timeout
+      | Error e -> Error e)
+  in
+  let wire_report =
+    Seccloud.Endpoint.Da.audit_storage_over_wire da_ep ~transport
+      ~owner:"alice" ~file:"wire-ledger" ~indices:(List.init 8 Fun.id)
+  in
+  let wire_verdict =
+    match wire_commitment with
+    | Error e ->
+      {
+        Sc_audit.Protocol.valid = false;
+        failures =
+          [
+            (match e with
+            | Seccloud.Transport.Timeout ->
+              Sc_audit.Protocol.Transport_timeout "cs-1"
+            | Seccloud.Transport.Tampered ->
+              Sc_audit.Protocol.Transport_tampered "cs-1");
+          ];
+      }
+    | Ok commitment ->
+      Seccloud.Endpoint.Da.audit_computation_over_wire da_ep ~transport
+        ~owner:"alice" ~file:"wire-ledger" ~commitment ~warrant
+        ~now:(Seccloud.Transport.now transport)
+        ~samples:4
+  in
+  if drop = 0.0 && tamper = 0.0 then begin
+    (* On a perfect channel the over-the-wire round must agree with
+       the direct one. *)
+    assert (uploaded = Ok true);
+    assert wire_report.Seccloud.Agency.intact;
+    assert wire_verdict.Sc_audit.Protocol.valid
+  end;
+  let wire_summary =
+    Printf.sprintf
+      "over-the-wire round (drop=%.2f tamper=%.2f): upload=%s \
+       storage_intact=%b computation_valid=%b retries=%d"
+      drop tamper
+      (match uploaded with
+      | Ok ok -> string_of_bool ok
+      | Error e -> Seccloud.Transport.error_to_string e)
+      wire_report.Seccloud.Agency.intact wire_verdict.Sc_audit.Protocol.valid
+      (Telemetry.counter_value "transport.retry")
+  in
+  ibs_pairings, List.length jobs, batch_pairings, wire_summary
 
-let stats verbose preset seed trace check =
+let stats verbose preset seed drop tamper trace check =
   setup_logging verbose;
-  let run () = stats_workload preset seed in
-  let ibs_pairings, batch_jobs, batch_pairings =
+  let run () = stats_workload preset seed ~drop ~tamper in
+  let ibs_pairings, batch_jobs, batch_pairings, wire_summary =
     match trace with
     | Some path -> Telemetry.with_trace_file path run
     | None -> run ()
@@ -205,6 +290,7 @@ let stats verbose preset seed trace check =
     "Telemetry after one instrumented workload (params=%s): Protocols I-III, \
      a batched storage audit and a %d-job batched computation audit.\n\n"
     preset batch_jobs;
+  Printf.printf "%s\n\n" wire_summary;
   Telemetry.print_tree stdout;
   (match trace with
   | Some path -> Printf.printf "\nspan trace (JSONL) written to %s\n" path
@@ -230,6 +316,20 @@ let stats verbose preset seed trace check =
            + Telemetry.counter_value "pairing.multi"
            + Telemetry.counter_value "pairing.affine")))
       0;
+    invariant "transport attempts reconcile with rpc + retry"
+      (abs
+         (Telemetry.counter_value "transport.attempts"
+         - (Telemetry.counter_value "transport.rpc"
+           + Telemetry.counter_value "transport.retry")))
+      0;
+    if drop = 0.0 && tamper = 0.0 then
+      invariant "no retries on a perfect channel"
+        (Telemetry.counter_value "transport.retry")
+        0
+    else
+      invariant "lossy channel exercised the retry path"
+        (if Telemetry.counter_value "transport.retry" > 0 then 0 else 1)
+        0;
     if !failures > 0 then begin
       Printf.printf "%d invariant(s) regressed\n" !failures;
       exit 1
@@ -261,6 +361,20 @@ let samplesize_cmd =
   Cmd.v (Cmd.info "samplesize" ~doc:"Required audit sample size (Figure 4 math)")
     Term.(const samplesize $ csc $ ssc $ range $ eps)
 
+let drop_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "drop" ]
+        ~doc:"Per-direction message drop probability on the transport.")
+
+let tamper_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "tamper" ]
+        ~doc:"Per-direction bit-flip probability on the transport.")
+
 let stats_cmd =
   let trace =
     Arg.(
@@ -278,7 +392,9 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run an instrumented demo/audit workload and print the metrics tree")
-    Term.(const stats $ verbose_arg $ preset_arg $ seed_arg $ trace $ check)
+    Term.(
+      const stats $ verbose_arg $ preset_arg $ seed_arg $ drop_arg
+      $ tamper_arg $ trace $ check)
 
 let simulate_cmd =
   let epochs = Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Epochs.") in
@@ -286,7 +402,9 @@ let simulate_cmd =
   let byzantine = Arg.(value & opt int 1 & info [ "byzantine" ] ~doc:"Adversary bound b.") in
   let users = Arg.(value & opt int 2 & info [ "users" ] ~doc:"Cloud users.") in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the Byzantine cloud simulation")
-    Term.(const simulate $ epochs $ servers $ byzantine $ users $ seed_arg)
+    Term.(
+      const simulate $ epochs $ servers $ byzantine $ users $ drop_arg
+      $ tamper_arg $ seed_arg)
 
 let () =
   let info = Cmd.info "seccloud" ~version:"1.0" ~doc:"SecCloud demo CLI" in

@@ -124,6 +124,21 @@ let verify_jobs pub ~verifier_key ~role jobs =
   end;
   { Protocol.valid = !failures = []; failures = List.rev !failures }
 
+(* Fold channel-level outcomes into a batch verdict: servers that
+   never produced a usable audit round are blamed exactly like failed
+   verifications, so the caller's decision logic does not change. *)
+let flag_unresponsive verdict ~timed_out ~tampered =
+  let extra =
+    List.map (fun id -> Protocol.Transport_timeout id) timed_out
+    @ List.map (fun id -> Protocol.Transport_tampered id) tampered
+  in
+  if extra = [] then verdict
+  else
+    {
+      Protocol.valid = false;
+      failures = extra @ verdict.Protocol.failures;
+    }
+
 let pairings_used pub ~verifier_key ~role jobs =
   let before = Sc_pairing.Tate.pairings_performed () in
   let verdict = verify_jobs pub ~verifier_key ~role jobs in

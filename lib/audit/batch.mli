@@ -23,6 +23,16 @@ val verify_jobs :
     the aggregate rejects, the batch falls back to individual checks
     to attribute blame, so the failure list still names indices. *)
 
+val flag_unresponsive :
+  Protocol.verdict ->
+  timed_out:string list ->
+  tampered:string list ->
+  Protocol.verdict
+(** Merge channel outcomes into a batch verdict: each listed server id
+    contributes a typed [Transport_timeout] / [Transport_tampered]
+    failure and invalidates the verdict, so unresponsive servers are
+    flagged exactly like failed verifications. *)
+
 val pairings_used :
   Sc_ibc.Setup.public ->
   verifier_key:Sc_ibc.Setup.identity_key ->

@@ -36,6 +36,8 @@ type failure =
   | Computing_wrong of int
   | Root_wrong of int
   | Root_signature_wrong
+  | Transport_timeout of string
+  | Transport_tampered of string
 
 type verdict = { valid : bool; failures : failure list }
 
@@ -46,6 +48,16 @@ let pp_failure fmt = function
   | Computing_wrong i -> Format.fprintf fmt "IsComputingWrong(%d)" i
   | Root_wrong i -> Format.fprintf fmt "IsRootWrong(%d)" i
   | Root_signature_wrong -> Format.pp_print_string fmt "root signature invalid"
+  | Transport_timeout peer ->
+    Format.fprintf fmt "transport timeout: %s unresponsive" peer
+  | Transport_tampered peer ->
+    Format.fprintf fmt "transport tampering detected talking to %s" peer
+
+let is_transport_failure = function
+  | Transport_timeout _ | Transport_tampered _ -> true
+  | Warrant_invalid | Missing_response _ | Signature_wrong _ | Computing_wrong _
+  | Root_wrong _ | Root_signature_wrong ->
+    false
 
 let make_challenge ~drbg ~n_tasks ~samples ~warrant =
   let samples = min samples n_tasks in

@@ -29,10 +29,19 @@ type failure =
   | Computing_wrong of int (* IsComputingWrong(τ) *)
   | Root_wrong of int (* IsRootWrong(R(τ)) *)
   | Root_signature_wrong
+  | Transport_timeout of string
+      (* the named peer exhausted its retry budget without answering *)
+  | Transport_tampered of string
+      (* retries exhausted and the channel to the peer kept mangling
+         messages — detectable in-flight corruption *)
 
 type verdict = { valid : bool; failures : failure list }
 
 val pp_failure : Format.formatter -> failure -> unit
+
+val is_transport_failure : failure -> bool
+(** True for the channel-level blames ([Transport_timeout],
+    [Transport_tampered]); false for every cryptographic check. *)
 
 val make_challenge :
   drbg:Sc_hash.Drbg.t ->

@@ -20,6 +20,9 @@ type storage_report = {
   valid_blocks : int;
   invalid_indices : int list;
   intact : bool;
+  channel : Transport.error option;
+      (* [Some _] when the report was produced by channel failure
+         rather than block verification *)
 }
 
 let sample_indices t ~n ~samples =
@@ -53,13 +56,16 @@ let report_of_checks checks =
     valid_blocks = sampled - List.length invalid_indices;
     invalid_indices;
     intact = invalid_indices = [];
+    channel = None;
   }
 
 let audit_storage t cloud ~owner ~file ~samples =
   let pub = System.public t.system in
   let da_key = System.da_key t.system in
   match read_samples t cloud ~file ~samples with
-  | None -> { sampled = 0; valid_blocks = 0; invalid_indices = []; intact = false }
+  | None ->
+    { sampled = 0; valid_blocks = 0; invalid_indices = []; intact = false;
+      channel = None }
   | Some reads ->
     let checks =
       List.map
@@ -83,7 +89,9 @@ let audit_storage_batched t cloud ~owner ~file ~samples =
   let pub = System.public t.system in
   let da_key = System.da_key t.system in
   match read_samples t cloud ~file ~samples with
-  | None -> { sampled = 0; valid_blocks = 0; invalid_indices = []; intact = false }
+  | None ->
+    { sampled = 0; valid_blocks = 0; invalid_indices = []; intact = false;
+      channel = None }
   | Some reads ->
     let well_formed =
       List.filter_map
@@ -118,6 +126,7 @@ let audit_storage_batched t cloud ~owner ~file ~samples =
         valid_blocks = List.length reads;
         invalid_indices = [];
         intact = true;
+        channel = None;
       }
     else begin
       (* Locate offenders individually. *)

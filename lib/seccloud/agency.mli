@@ -11,6 +11,10 @@ type storage_report = {
   valid_blocks : int;
   invalid_indices : int list;
   intact : bool;
+  channel : Transport.error option;
+      (** [Some _] when the verdict is a channel blame (the server
+          never usably answered over the wire) rather than the result
+          of block verification. *)
 }
 
 val audit_storage :

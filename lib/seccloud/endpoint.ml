@@ -1,4 +1,5 @@
 module Protocol = Sc_audit.Protocol
+module Batch = Sc_audit.Batch
 module Server_impl = Sc_storage.Server
 
 module Server = struct
@@ -59,18 +60,20 @@ module Da = struct
   let audit_storage_over_wire t ~transport ~owner ~file ~indices =
     let pub = System.public t.system in
     let da_key = System.da_key t.system in
-    let request = Wire.encode pub (Wire.Storage_challenge { file; indices }) in
-    let fail =
+    let fail channel =
       {
         Agency.sampled = List.length indices;
         valid_blocks = 0;
         invalid_indices = indices;
         intact = false;
+        channel;
       }
     in
-    match Wire.decode pub (transport request) with
-    | exception Wire.Decode_error _ -> fail
-    | Wire.Storage_response items ->
+    match Transport.call transport ~expect:"storage_response"
+            (Wire.Storage_challenge { file; indices })
+    with
+    | Error e -> fail (Some e)
+    | Ok (Wire.Storage_response items) ->
       let checks =
         List.map
           (fun i ->
@@ -89,32 +92,95 @@ module Da = struct
         valid_blocks = List.length indices - List.length invalid;
         invalid_indices = invalid;
         intact = invalid = [];
+        channel = None;
       }
-    | Wire.Upload _ | Wire.Storage_challenge _ | Wire.Compute_request _
-    | Wire.Compute_commitment _ | Wire.Audit_challenge _
-    | Wire.Audit_response _ | Wire.Ack _ ->
-      fail
+    | Ok _ ->
+      (* The server answered (an error Ack): the channel worked, the
+         audit simply failed. *)
+      fail None
+
+  let challenge_over_wire t ~transport ~owner ~file ~commitment ~warrant
+      ~samples =
+    let challenge =
+      Protocol.make_challenge ~drbg:t.drbg
+        ~n_tasks:commitment.Protocol.n_tasks ~samples ~warrant
+    in
+    match Transport.call transport ~expect:"audit_response"
+            (Wire.Audit_challenge { owner; file; challenge })
+    with
+    | Error e -> challenge, Error (`Channel e)
+    | Ok (Wire.Audit_response responses) -> challenge, Ok responses
+    | Ok _ -> challenge, Error `Refused
+
+  let transport_failure transport = function
+    | Transport.Timeout -> Protocol.Transport_timeout (Transport.peer transport)
+    | Transport.Tampered ->
+      Protocol.Transport_tampered (Transport.peer transport)
 
   let audit_computation_over_wire t ~transport ~owner ~file ~commitment
       ~warrant ~now:_ ~samples =
     let pub = System.public t.system in
     let da_key = System.da_key t.system in
-    let challenge =
-      Protocol.make_challenge ~drbg:t.drbg
-        ~n_tasks:commitment.Protocol.n_tasks ~samples ~warrant
-    in
-    let request =
-      Wire.encode pub (Wire.Audit_challenge { owner; file; challenge })
-    in
-    let fail failure = { Protocol.valid = false; failures = [ failure ] } in
-    match Wire.decode pub (transport request) with
-    | exception Wire.Decode_error _ -> fail Protocol.Warrant_invalid
-    | Wire.Audit_response responses ->
+    match
+      challenge_over_wire t ~transport ~owner ~file ~commitment ~warrant
+        ~samples
+    with
+    | _, Error (`Channel e) ->
+      { Protocol.valid = false; failures = [ transport_failure transport e ] }
+    | _, Error `Refused ->
+      { Protocol.valid = false; failures = [ Protocol.Warrant_invalid ] }
+    | challenge, Ok responses ->
       Protocol.verify pub ~verifier_key:da_key ~role:`Da ~owner commitment
         challenge responses
-    | Wire.Ack { ok = _; detail = _ } -> fail Protocol.Warrant_invalid
-    | Wire.Upload _ | Wire.Storage_challenge _ | Wire.Storage_response _
-    | Wire.Compute_request _ | Wire.Compute_commitment _
-    | Wire.Audit_challenge _ ->
-      fail Protocol.Warrant_invalid
+
+  type batch_target = {
+    transport : Transport.t;
+    owner : string;
+    file : string;
+    commitment : Protocol.commitment;
+    warrant : Sc_ibc.Warrant.signed;
+  }
+
+  let audit_batch_over_wire t ~targets ~samples =
+    let pub = System.public t.system in
+    let da_key = System.da_key t.system in
+    let jobs = ref [] in
+    let timed_out = ref [] in
+    let tampered = ref [] in
+    let refused = ref 0 in
+    List.iter
+      (fun tg ->
+        match
+          challenge_over_wire t ~transport:tg.transport ~owner:tg.owner
+            ~file:tg.file ~commitment:tg.commitment ~warrant:tg.warrant
+            ~samples
+        with
+        | challenge, Ok responses ->
+          jobs :=
+            { Batch.owner = tg.owner; commitment = tg.commitment; challenge;
+              responses }
+            :: !jobs
+        | _, Error (`Channel Transport.Timeout) ->
+          timed_out := Transport.peer tg.transport :: !timed_out
+        | _, Error (`Channel Transport.Tampered) ->
+          tampered := Transport.peer tg.transport :: !tampered
+        | _, Error `Refused -> incr refused)
+      targets;
+    let verdict =
+      Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da (List.rev !jobs)
+    in
+    let verdict =
+      (* Servers that answered but refused the challenge fail the
+         audit for protocol (not channel) reasons. *)
+      if !refused = 0 then verdict
+      else
+        {
+          Protocol.valid = false;
+          failures =
+            List.init !refused (fun _ -> Protocol.Warrant_invalid)
+            @ verdict.Protocol.failures;
+        }
+    in
+    Batch.flag_unresponsive verdict ~timed_out:(List.rev !timed_out)
+      ~tampered:(List.rev !tampered)
 end

@@ -1,13 +1,15 @@
 (** Message-driven protocol endpoints: a cloud server and a DA that
-    communicate exclusively through encoded {!Wire} bytes, the way a
-    deployed SecCloud would over TCP.
+    communicate exclusively through encoded {!Wire} bytes carried by
+    a {!Transport}, the way a deployed SecCloud would over TCP.
 
     The server endpoint is a pure byte-in/byte-out handler around a
     {!Cloud.t}; the DA endpoint drives complete audit conversations
-    and returns verdicts.  Both sides re-validate everything they
-    decode, so the pair double as an integration test of the wire
-    layer: any message a test (or an attacker-in-the-middle) mangles
-    is rejected or fails verification. *)
+    through the fault-injectable channel and returns verdicts.  Both
+    sides re-validate everything they decode, so the pair double as
+    an integration test of the wire layer: any message the channel
+    (or an attacker-in-the-middle) mangles is rejected, retried, and
+    ultimately blamed with a typed {!Transport.error}-derived
+    failure rather than an exception. *)
 
 module Server : sig
   type t
@@ -23,7 +25,9 @@ module Server : sig
       - [Audit_challenge] → [Audit_response] or an [Ack] error when
         the warrant is rejected or no execution matches.
       Malformed input or unexpected message kinds yield an error
-      [Ack] rather than an exception. *)
+      [Ack] rather than an exception.  Partially applied,
+      [handle server] is exactly the handler a {!Transport.create}
+      expects. *)
 end
 
 module Da : sig
@@ -33,17 +37,21 @@ module Da : sig
 
   val audit_storage_over_wire :
     t ->
-    transport:(string -> string) ->
+    transport:Transport.t ->
     owner:string ->
     file:string ->
     indices:int list ->
     Agency.storage_report
-  (** Sends a [Storage_challenge] through [transport] (bytes → reply
-      bytes) and verifies whatever comes back. *)
+  (** Sends a [Storage_challenge] through the transport (retrying per
+      its policy) and verifies whatever comes back.  A round that
+      exhausts its retries yields a report with
+      [channel = Some Timeout/Tampered] and every index flagged
+      invalid — the blame path treats unresponsive servers like
+      failed verifications. *)
 
   val audit_computation_over_wire :
     t ->
-    transport:(string -> string) ->
+    transport:Transport.t ->
     owner:string ->
     file:string ->
     commitment:Sc_audit.Protocol.commitment ->
@@ -51,5 +59,28 @@ module Da : sig
     now:float ->
     samples:int ->
     Sc_audit.Protocol.verdict
-  (** Runs the full Algorithm-1 conversation over the wire. *)
+  (** Runs the full Algorithm-1 conversation over the transport.  On
+      channel failure the verdict carries a typed
+      [Transport_timeout] / [Transport_tampered] blame naming
+      {!Transport.peer}. *)
+
+  type batch_target = {
+    transport : Transport.t;
+    owner : string;
+    file : string;
+    commitment : Sc_audit.Protocol.commitment;
+    warrant : Sc_ibc.Warrant.signed;
+  }
+
+  val audit_batch_over_wire :
+    t ->
+    targets:batch_target list ->
+    samples:int ->
+    Sc_audit.Protocol.verdict
+  (** §VI batched auditing over the wire: every responsive target
+      contributes a job to one {!Sc_audit.Batch.verify_jobs} round
+      (batch equations with per-job fallback for blame); servers
+      whose round exhausted retries are folded in as typed
+      [Transport_*] failures via
+      {!Sc_audit.Batch.flag_unresponsive}. *)
 end

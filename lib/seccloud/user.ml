@@ -16,6 +16,13 @@ let store t cloud ~file payloads =
   let upload = sign_file t ~cs_id:(Cloud.id cloud) ~file payloads in
   Cloud.accept_upload cloud upload
 
+let store_over t ~transport ~cs_id ~file payloads =
+  let upload = sign_file t ~cs_id ~file payloads in
+  match Transport.call transport ~expect:"ack" (Wire.Upload upload) with
+  | Error e -> Error e
+  | Ok (Wire.Ack { ok; _ }) -> Ok ok
+  | Ok _ -> Ok false
+
 let delegate_audit t ~now ~lifetime ~scope =
   Warrant.issue (System.public t.system) t.key
     ~bytes_source:(System.bytes_source t.system)

@@ -14,6 +14,18 @@ val sign_file : t -> cs_id:string -> file:string -> string list -> Sc_storage.Si
 val store : t -> Cloud.t -> file:string -> string list -> bool
 (** Sign and upload in one step; returns the server's accept flag. *)
 
+val store_over :
+  t ->
+  transport:Transport.t ->
+  cs_id:string ->
+  file:string ->
+  string list ->
+  (bool, Transport.error) result
+(** Protocol II over the wire: sign, send the [Upload] through the
+    fault-injectable transport (retrying per its policy) and return
+    the server's accept flag, or the typed channel error when every
+    attempt was lost or mangled. *)
+
 val delegate_audit :
   t ->
   now:float ->

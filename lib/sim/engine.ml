@@ -2,7 +2,10 @@ module Server = Sc_storage.Server
 module Executor = Sc_compute.Executor
 module Task = Sc_compute.Task
 module Optimal = Sc_audit.Optimal
+module Protocol = Sc_audit.Protocol
 module Telemetry = Sc_telemetry.Telemetry
+module Transport = Seccloud.Transport
+module Endpoint = Seccloud.Endpoint
 
 let c_epochs = Telemetry.counter "sim.epochs"
 let c_audits = Telemetry.counter "sim.audits"
@@ -20,6 +23,8 @@ type config = {
   epochs : int;
   network : Network.config;
   cheat_damage : float;
+  faults : Transport.faults;
+  retry : Transport.Retry.policy;
 }
 
 let default_config =
@@ -36,6 +41,8 @@ let default_config =
     epochs = 5;
     network = Network.default_config;
     cheat_damage = 100.0;
+    faults = Transport.perfect;
+    retry = Transport.Retry.default;
   }
 
 type audit_outcome = {
@@ -45,6 +52,8 @@ type audit_outcome = {
   server_cheats : bool;
   storage_ok : bool;
   computation_ok : bool;
+  channel_timeout : bool;
+  channel_tampered : bool;
   samples : int;
   bytes : int;
   recompute_seconds : float;
@@ -58,16 +67,27 @@ type stats = {
   undetected : int;
   false_alarms : int;
   honest_passed : int;
+  channel_timeouts : int;
+  channel_tampering : int;
   records : Optimal.audit_record list;
 }
 
-(* Byte accounting uses the real wire encoding (Seccloud.Wire): each
-   exchange is encoded once and its cost read back as the delta of the
-   [wire.tx.bytes] registry counter, so the C_trans fed to Theorem 3's
-   history learning is exact and agrees with what any other traffic
-   source charges the same counter. *)
+(* Every exchange travels as encoded {!Seccloud.Wire} bytes through a
+   per-pair {!Seccloud.Transport}, whose charge callback feeds
+   {!Network.record_transfer}: the C_trans fed to Theorem 3's history
+   learning is the exact number of bytes the channel delivered,
+   retries and duplicates included. *)
 
-let wire_tx_bytes () = Telemetry.counter_value "wire.tx.bytes"
+let sample_indices ~drbg ~universe ~count =
+  let n = min count universe in
+  let arr = Array.init universe Fun.id in
+  for i = 0 to n - 1 do
+    let j = i + Sc_hash.Drbg.uniform_int drbg (universe - i) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Array.to_list (Array.sub arr 0 n)
 
 let run config =
   let system =
@@ -75,7 +95,7 @@ let run config =
       ~cs_ids:(List.init config.n_servers (Printf.sprintf "cs-%d"))
       ~da_id:"da" ()
   in
-  let da = Seccloud.Agency.create system in
+  let da = Endpoint.Da.create system in
   let drbg = Sc_hash.Drbg.create ~seed:("sim:" ^ config.seed) in
   let adversary =
     Adversary.create ~drbg ~bound:config.byzantine_bound
@@ -97,13 +117,45 @@ let run config =
   in
   let outcomes = ref [] in
   let records = ref [] in
+  let finish_audit ~epoch_idx ~cloud_id ~user_id ~server_cheats ~storage_ok
+      ~computation_ok ~channel_timeout ~channel_tampered ~bytes
+      ~recompute_seconds =
+    let outcome =
+      {
+        epoch = epoch_idx;
+        server = cloud_id;
+        user = user_id;
+        server_cheats;
+        storage_ok;
+        computation_ok;
+        channel_timeout;
+        channel_tampered;
+        samples = config.samples_per_audit;
+        bytes;
+        recompute_seconds;
+      }
+    in
+    outcomes := outcome :: !outcomes;
+    let caught = not (storage_ok && computation_ok) in
+    records :=
+      {
+        Optimal.samples = config.samples_per_audit;
+        bytes_transferred = float_of_int bytes;
+        recompute_seconds;
+        undetected_cheat_damage =
+          (if server_cheats && not caught then Some config.cheat_damage
+           else None);
+      }
+      :: !records
+  in
   let run_epoch epoch_idx =
     Telemetry.incr c_epochs;
     Telemetry.with_span ~name:"sim.epoch"
       ~attrs:[ "epoch", string_of_int epoch_idx ]
     @@ fun () ->
     Adversary.new_epoch adversary;
-    (* Rebuild the fleet with this epoch's corruption assignment. *)
+    (* Rebuild the fleet with this epoch's corruption assignment; each
+       cloud sits behind a byte-in/byte-out server endpoint. *)
     let clouds =
       List.map
         (fun id ->
@@ -114,133 +166,157 @@ let run config =
               ~compute:c.Adversary.compute ())
         (Seccloud.System.cs_ids system)
     in
-    let cloud_arr = Array.of_list clouds in
+    let endpoints =
+      List.map (fun c -> c, Endpoint.Server.create system c) clouds
+      |> Array.of_list
+    in
     List.iteri
       (fun ui user ->
-        let cloud = cloud_arr.(ui mod Array.length cloud_arr) in
-        let file = Printf.sprintf "file-%s-e%d" (Seccloud.User.id user) epoch_idx in
-        let payloads = payloads_for (Seccloud.User.id user) in
-        (* Upload (Protocol II): sign first, then charge the real wire
-           size of the Upload message. *)
-        let upload =
-          Seccloud.User.sign_file user ~cs_id:(Seccloud.Cloud.id cloud) ~file
+        let cloud, server = endpoints.(ui mod Array.length endpoints) in
+        let cloud_id = Seccloud.Cloud.id cloud in
+        let user_id = Seccloud.User.id user in
+        let file = Printf.sprintf "file-%s-e%d" user_id epoch_idx in
+        let payloads = payloads_for user_id in
+        let server_cheats =
+          Adversary.corruption_of adversary cloud_id <> None
+        in
+        (* One fault-injected channel per (user, server) pair per
+           epoch, seeded so a lossy campaign replays exactly. *)
+        let transport =
+          Transport.create ~faults:config.faults ~policy:config.retry
+            ~drbg:
+              (Sc_hash.Drbg.create
+                 ~seed:
+                   (Printf.sprintf "sim-transport:%s:e%d:%s:%s" config.seed
+                      epoch_idx user_id cloud_id))
+            ~charge:(fun ~bytes -> Network.record_transfer net ~bytes)
+            ~now:(Event_queue.now queue) ~peer:cloud_id
+            ~public:(Seccloud.System.public system)
+            ~handler:(Endpoint.Server.handle server) ()
+        in
+        let bytes0 = Network.total_bytes net in
+        (* Injector ground truth for blame accounting: tampering that
+           survives decoding is caught by the signatures but cannot be
+           attributed to the channel by the protocol itself, so the
+           statistics classify such rounds with the same ground-truth
+           access used for [server_cheats]. *)
+        let tamper0 = Telemetry.counter_value "transport.fault.tamper" in
+        (* Upload (Protocol II) over the wire. *)
+        let uploaded =
+          Seccloud.User.store_over user ~transport ~cs_id:cloud_id ~file
             payloads
         in
-        let pub = Seccloud.System.public system in
-        let tx0 = wire_tx_bytes () in
-        ignore (Seccloud.Wire.encode pub (Seccloud.Wire.Upload upload));
-        let upload_bytes = wire_tx_bytes () - tx0 in
-        let upload_delay = Network.record_transfer net ~bytes:upload_bytes in
-        Event_queue.schedule queue ~delay:upload_delay (fun () ->
-            (* Cheating servers skip the accept-time check. *)
-            (match Seccloud.Cloud.storage cloud |> Server.behaviour with
-            | Server.Honest -> ignore (Seccloud.Cloud.accept_upload cloud upload)
-            | Server.Delete_fraction _ | Server.Corrupt_fraction _
-            | Server.Substitute_fraction _ ->
-              Seccloud.Cloud.accept_upload_unchecked cloud upload);
-            (* Computation request (Protocol III) after the upload. *)
-            let service =
-              Task.random_service ~drbg ~n_positions:config.blocks_per_file
-                ~n_tasks:config.tasks_per_service
+        (* Computation request (Protocol III): the commitment comes
+           back over the same channel. *)
+        let service =
+          Task.random_service ~drbg ~n_positions:config.blocks_per_file
+            ~n_tasks:config.tasks_per_service
+        in
+        let commitment =
+          match uploaded with
+          | Error e -> Error (`Channel e)
+          | Ok false ->
+            (* Servers never reject a correctly signed upload, so a
+               rejection means the channel flipped a bit that survived
+               decoding: blame the channel, not the server. *)
+            Error (`Channel Transport.Tampered)
+          | Ok true -> (
+            match
+              Transport.call transport ~expect:"compute_commitment"
+                (Seccloud.Wire.Compute_request
+                   { owner = user_id; file; service })
+            with
+            | Ok (Seccloud.Wire.Compute_commitment { commitment; _ }) ->
+              Ok commitment
+            | Ok _ -> Error `Refused
+            | Error e -> Error (`Channel e))
+        in
+        let setup_tampered =
+          Telemetry.counter_value "transport.fault.tamper" > tamper0
+        in
+        let setup_delay = Transport.now transport -. Event_queue.now queue in
+        Event_queue.schedule queue ~delay:setup_delay (fun () ->
+            Telemetry.incr c_audits;
+            Telemetry.with_span ~name:"sim.audit"
+              ~attrs:
+                [ "epoch", string_of_int epoch_idx; "server", cloud_id ]
+            @@ fun () ->
+            if Event_queue.now queue > Transport.now transport then
+              Transport.set_now transport (Event_queue.now queue);
+            let indices =
+              sample_indices ~drbg ~universe:config.blocks_per_file
+                ~count:config.samples_per_audit
             in
-            let execution =
-              Seccloud.Cloud.execute cloud ~owner:(Seccloud.User.id user) ~file
-                service
-            in
-            let now = Event_queue.now queue in
-            let warrant =
-              Seccloud.User.delegate_audit user ~now ~lifetime:3600.0
-                ~scope:("audit " ^ file)
-            in
-            (* Build the actual audit exchange so its exact wire size
-               can be charged. *)
-            let commitment =
-              Sc_audit.Protocol.commitment_of_execution execution
-            in
-            let challenge =
-              Sc_audit.Protocol.make_challenge ~drbg
-                ~n_tasks:commitment.Sc_audit.Protocol.n_tasks
-                ~samples:config.samples_per_audit ~warrant
-            in
-            let responses =
-              Sc_audit.Protocol.respond pub ~now execution challenge
-            in
-            let tx0 = wire_tx_bytes () in
-            ignore
-              (Seccloud.Wire.encode pub
-                 (Seccloud.Wire.Compute_commitment
-                    { results = Executor.results execution; commitment }));
-            ignore
-              (Seccloud.Wire.encode pub
-                 (Seccloud.Wire.Audit_challenge
-                    { owner = Seccloud.User.id user; file; challenge }));
-            (match responses with
-            | Some rs ->
-              ignore
-                (Seccloud.Wire.encode pub (Seccloud.Wire.Audit_response rs))
-            | None -> ());
-            let audit_bytes = wire_tx_bytes () - tx0 in
-            let audit_delay = Network.record_transfer net ~bytes:audit_bytes in
-            Event_queue.schedule queue ~delay:audit_delay (fun () ->
-                Telemetry.incr c_audits;
-                Telemetry.with_span ~name:"sim.audit"
-                  ~attrs:
-                    [
-                      "epoch", string_of_int epoch_idx;
-                      "server", Seccloud.Cloud.id cloud;
-                    ]
-                @@ fun () ->
-                let t0 = Sys.time () in
-                let storage_report =
-                  Seccloud.Agency.audit_storage da cloud
-                    ~owner:(Seccloud.User.id user) ~file
+            let t0 = Sys.time () in
+            match commitment with
+            | Error (`Channel e) ->
+              (* The channel swallowed the setup phase: there is
+                 nothing to audit, the server is blamed as
+                 unresponsive (or tampering) without a crypto
+                 verdict. *)
+              let recompute_seconds = Sys.time () -. t0 in
+              finish_audit ~epoch_idx ~cloud_id ~user_id ~server_cheats
+                ~storage_ok:false ~computation_ok:false
+                ~channel_timeout:(e = Transport.Timeout)
+                ~channel_tampered:(e = Transport.Tampered)
+                ~bytes:(Network.total_bytes net - bytes0)
+                ~recompute_seconds
+            | (Error `Refused | Ok _) as commitment ->
+              let tamper1 =
+                Telemetry.counter_value "transport.fault.tamper"
+              in
+              let storage_report =
+                Endpoint.Da.audit_storage_over_wire da ~transport
+                  ~owner:user_id ~file ~indices
+              in
+              let now = Event_queue.now queue in
+              let verdict =
+                match commitment with
+                | Ok commitment ->
+                  let warrant =
+                    Seccloud.User.delegate_audit user ~now ~lifetime:3600.0
+                      ~scope:("audit " ^ file)
+                  in
+                  Endpoint.Da.audit_computation_over_wire da ~transport
+                    ~owner:user_id ~file ~commitment ~warrant ~now
                     ~samples:config.samples_per_audit
-                in
-                let verdict =
-                  match responses with
-                  | None ->
-                    {
-                      Sc_audit.Protocol.valid = false;
-                      failures = [ Sc_audit.Protocol.Warrant_invalid ];
-                    }
-                  | Some rs ->
-                    Sc_audit.Protocol.verify pub
-                      ~verifier_key:(Seccloud.System.da_key system) ~role:`Da
-                      ~owner:(Seccloud.User.id user) commitment challenge rs
-                in
-                let recompute_seconds = Sys.time () -. t0 in
-                let server_cheats =
-                  Adversary.corruption_of adversary (Seccloud.Cloud.id cloud)
-                  <> None
-                in
-                let outcome =
+                | Error _ ->
+                  (* The server answered the compute request with an
+                     error Ack: a protocol refusal, not a channel
+                     fault. *)
                   {
-                    epoch = epoch_idx;
-                    server = Seccloud.Cloud.id cloud;
-                    user = Seccloud.User.id user;
-                    server_cheats;
-                    storage_ok = storage_report.Seccloud.Agency.intact;
-                    computation_ok = verdict.Sc_audit.Protocol.valid;
-                    samples = config.samples_per_audit;
-                    bytes = audit_bytes;
-                    recompute_seconds;
+                    Protocol.valid = false;
+                    failures = [ Protocol.Warrant_invalid ];
                   }
-                in
-                outcomes := outcome :: !outcomes;
-                let caught =
-                  not (outcome.storage_ok && outcome.computation_ok)
-                in
-                records :=
-                  {
-                    Optimal.samples = config.samples_per_audit;
-                    bytes_transferred = float_of_int audit_bytes;
-                    recompute_seconds;
-                    undetected_cheat_damage =
-                      (if server_cheats && not caught then
-                         Some config.cheat_damage
-                       else None);
-                  }
-                  :: !records)))
+              in
+              let recompute_seconds = Sys.time () -. t0 in
+              let channel_errors =
+                (match storage_report.Seccloud.Agency.channel with
+                | Some e -> [ e ]
+                | None -> [])
+                @ List.filter_map
+                    (function
+                      | Protocol.Transport_timeout _ -> Some Transport.Timeout
+                      | Protocol.Transport_tampered _ ->
+                        Some Transport.Tampered
+                      | _ -> None)
+                    verdict.Protocol.failures
+              in
+              let storage_ok = storage_report.Seccloud.Agency.intact in
+              let computation_ok = verdict.Protocol.valid in
+              let tampering_injected =
+                setup_tampered
+                || Telemetry.counter_value "transport.fault.tamper" > tamper1
+              in
+              finish_audit ~epoch_idx ~cloud_id ~user_id ~server_cheats
+                ~storage_ok ~computation_ok
+                ~channel_timeout:(List.mem Transport.Timeout channel_errors)
+                ~channel_tampered:
+                  (List.mem Transport.Tampered channel_errors
+                  || ((not (storage_ok && computation_ok))
+                     && tampering_injected))
+                ~bytes:(Network.total_bytes net - bytes0)
+                ~recompute_seconds))
       users
   in
   for e = 1 to config.epochs do
@@ -251,14 +327,18 @@ let run config =
   let outcomes = List.rev !outcomes in
   let tally f = List.length (List.filter f outcomes) in
   let caught o = not (o.storage_ok && o.computation_ok) in
+  let channel o = o.channel_timeout || o.channel_tampered in
   {
     outcomes;
     sim_time = Event_queue.now queue;
     total_bytes = Network.total_bytes net;
     detected = tally (fun o -> o.server_cheats && caught o);
     undetected = tally (fun o -> o.server_cheats && not (caught o));
-    false_alarms = tally (fun o -> (not o.server_cheats) && caught o);
+    false_alarms =
+      tally (fun o -> (not o.server_cheats) && caught o && not (channel o));
     honest_passed = tally (fun o -> (not o.server_cheats) && not (caught o));
+    channel_timeouts = tally (fun o -> o.channel_timeout);
+    channel_tampering = tally (fun o -> o.channel_tampered);
     records = List.rev !records;
   }
 

@@ -1,12 +1,16 @@
 (** The end-to-end cloud simulation: n servers under a mobile
     Byzantine adversary, users storing data and outsourcing
     computation, the DA auditing every execution — all driven through
-    a discrete-event clock with a network cost model.
+    a discrete-event clock, a network cost model and a
+    fault-injectable {!Seccloud.Transport} channel per (user, server)
+    pair.
 
     Each epoch the adversary corrupts a fresh subset of at most b
     servers (§III-B); every audit outcome is compared against ground
     truth, giving detection statistics and the audit-cost history that
-    feeds Theorem 3's "history learning". *)
+    feeds Theorem 3's "history learning".  With lossy [faults] the
+    campaign still terminates: rounds that exhaust their retries are
+    blamed as typed channel failures rather than raising. *)
 
 type config = {
   seed : string;
@@ -21,10 +25,13 @@ type config = {
   epochs : int;
   network : Network.config;
   cheat_damage : float; (* damage of an undetected cheating epoch *)
+  faults : Seccloud.Transport.faults; (* injected channel faults *)
+  retry : Seccloud.Transport.Retry.policy;
 }
 
 val default_config : config
-(** Toy parameters, 4 servers / b = 1, 2 users, 5 epochs. *)
+(** Toy parameters, 4 servers / b = 1, 2 users, 5 epochs, a perfect
+    channel with the default retry policy. *)
 
 type audit_outcome = {
   epoch : int;
@@ -33,8 +40,10 @@ type audit_outcome = {
   server_cheats : bool; (* ground truth *)
   storage_ok : bool;
   computation_ok : bool;
+  channel_timeout : bool; (* some round exhausted retries silently *)
+  channel_tampered : bool; (* some round kept arriving mangled *)
   samples : int;
-  bytes : int;
+  bytes : int; (* wire bytes for the whole campaign, retries included *)
   recompute_seconds : float;
 }
 
@@ -44,8 +53,12 @@ type stats = {
   total_bytes : int;
   detected : int; (* cheating epochs caught *)
   undetected : int; (* cheating epochs missed *)
-  false_alarms : int; (* honest servers flagged — must be 0 *)
+  false_alarms : int;
+      (* honest servers flagged by crypto alone (no channel fault
+         involved) — must be 0 *)
   honest_passed : int;
+  channel_timeouts : int; (* outcomes blamed on an unresponsive channel *)
+  channel_tampering : int; (* outcomes blamed on in-flight corruption *)
   records : Sc_audit.Optimal.audit_record list;
 }
 

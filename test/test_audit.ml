@@ -357,6 +357,96 @@ let batch_tests =
           ]);
   ]
 
+(* Properties: one tampered signature in a batch of t is always
+   rejected, and the per-job fallback blames exactly the tampered
+   index — over random batch sizes, tamper positions and which
+   component (U or the designated Σ) was corrupted. *)
+let batch_blame_tests =
+  let open Util in
+  let ibs_pool =
+    lazy
+      (List.init 16 (fun i ->
+           let msg = Printf.sprintf "msg-%d" i in
+           msg, Sc_ibc.Ibs.sign pub alice ~bytes_source:bs msg))
+  in
+  let blame_fixture =
+    lazy
+      (let execution = setup_execution ~n_tasks:16 () in
+       execution, Protocol.commitment_of_execution execution)
+  in
+  let gen = QCheck2.Gen.(triple (int_range 2 16) (int_bound 15) bool) in
+  [
+    qcheck ~count:16 "verify_batch rejects one tampered signature, blame sticks"
+      gen
+      (fun (t, pos, swap_u) ->
+        let pos = pos mod t in
+        let batch =
+          List.filteri (fun i _ -> i < t) (Lazy.force ibs_pool)
+          |> List.mapi (fun i (msg, s) ->
+                 if i <> pos then "alice", msg, s
+                 else
+                   let _, donor = List.nth (Lazy.force ibs_pool) ((pos + 1) mod t) in
+                   let s' =
+                     if swap_u then { s with Sc_ibc.Ibs.u = donor.Sc_ibc.Ibs.u }
+                     else { s with Sc_ibc.Ibs.v = donor.Sc_ibc.Ibs.v }
+                   in
+                   "alice", msg, s')
+        in
+        (not (Sc_ibc.Ibs.verify_batch pub batch))
+        && (* individual re-checks locate exactly the tampered entry *)
+        List.for_all
+          (fun (i, (signer, msg, s)) ->
+            Sc_ibc.Ibs.verify pub ~signer ~msg s = (i <> pos))
+          (List.mapi (fun i e -> i, e) batch));
+    qcheck ~count:12 "batched audit blames exactly the tampered sample" gen
+      (fun (t, pos, swap_u) ->
+        let pos = pos mod t in
+        let execution, commitment = Lazy.force blame_fixture in
+        let challenge =
+          { Protocol.sample_indices = List.init t Fun.id; warrant = warrant () }
+        in
+        let responses =
+          Option.get (Protocol.respond pub ~now:1.0 execution challenge)
+        in
+        let donor = List.nth responses ((pos + 1) mod t) in
+        let tampered =
+          List.mapi
+            (fun i (r : Executor.response) ->
+              if i <> pos then r
+              else
+                let rr = Option.get r.Executor.read in
+                let dr = Option.get donor.Executor.read in
+                let signed =
+                  if swap_u then
+                    {
+                      rr.Server.signed with
+                      Sc_storage.Signer.u = dr.Server.signed.Sc_storage.Signer.u;
+                    }
+                  else
+                    {
+                      rr.Server.signed with
+                      Sc_storage.Signer.sigma_da =
+                        dr.Server.signed.Sc_storage.Signer.sigma_da;
+                    }
+                in
+                { r with Executor.read = Some { rr with Server.signed } })
+            responses
+        in
+        let v =
+          Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da
+            [
+              {
+                Batch.owner = "alice";
+                commitment;
+                challenge;
+                responses = tampered;
+              };
+            ]
+        in
+        (not v.Protocol.valid)
+        && v.Protocol.failures = [ Protocol.Signature_wrong pos ]);
+  ]
+
 let trust_tests =
   let open Util in
   let module Trust = Sc_audit.Trust in
@@ -491,5 +581,6 @@ let noninteractive_tests =
   ]
 
 let suite =
-  sampling_tests @ optimal_tests @ protocol_tests @ batch_tests @ trust_tests
+  sampling_tests @ optimal_tests @ protocol_tests @ batch_tests
+  @ batch_blame_tests @ trust_tests
   @ noninteractive_tests

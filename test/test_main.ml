@@ -16,6 +16,8 @@ let () =
       "audit", Test_audit.suite;
       "seccloud", Test_seccloud.suite;
       "wire", Test_wire.suite;
+      "wire_fuzz", Test_wire_fuzz.suite;
+      "transport", Test_transport.suite;
       "erasure", Test_erasure.suite;
       "sim", Test_sim.suite;
       "telemetry", Test_telemetry.suite;

@@ -176,6 +176,63 @@ let montecarlo_tests =
         check Alcotest.bool "bounded" true (r.Mc.rate <= r.Mc.predicted +. 0.01));
   ]
 
+(* Conformance: with enough trials the empirical survival rate must
+   sit within 3 sigma of the closed forms of eqs. (10)-(14).  Regimes
+   are chosen so predicted * trials >~ 100 (binomial normality) and,
+   for eq. 14, so the union-bound overlap term is far below the noise
+   floor.  Everything is seeded: one passing run certifies the
+   assertion forever. *)
+let montecarlo_conformance_tests =
+  let open Util in
+  let trials = 80_000 in
+  let within_3_sigma name rate predicted =
+    let sigma =
+      sqrt (max 1e-12 (predicted *. (1.0 -. predicted) /. float_of_int trials))
+    in
+    if Float.abs (rate -. predicted) > 3.0 *. sigma then
+      Alcotest.failf "%s: empirical %.6f vs closed form %.6f (3s = %.6f)" name
+        rate predicted (3.0 *. sigma)
+  in
+  [
+    slow_case "FCS survival conforms to eq. 10 within 3 sigma" (fun () ->
+        let drbg = Sc_hash.Drbg.create ~seed:"mc-conf-fcs" in
+        List.iter
+          (fun (csc, range, t) ->
+            let r = Mc.fcs_experiment ~drbg ~csc ~range ~t ~trials in
+            check (Alcotest.float 1e-12) "closed form"
+              (Sc_audit.Sampling.pr_fcs ~csc ~range ~t)
+              r.Mc.predicted;
+            within_3_sigma
+              (Printf.sprintf "fcs csc=%.1f range=%.1f t=%d" csc range t)
+              r.Mc.rate r.Mc.predicted)
+          [ 0.5, 2.0, 10; 0.3, 4.0, 6; 0.8, infinity, 12 ]);
+    slow_case "PCS survival conforms to eq. 12 within 3 sigma" (fun () ->
+        let drbg = Sc_hash.Drbg.create ~seed:"mc-conf-pcs" in
+        List.iter
+          (fun (ssc, sig_forge, t) ->
+            let r = Mc.pcs_experiment ~drbg ~ssc ~sig_forge ~t ~trials in
+            check (Alcotest.float 1e-12) "closed form"
+              (Sc_audit.Sampling.pr_pcs ~ssc ~sig_forge ~t)
+              r.Mc.predicted;
+            within_3_sigma
+              (Printf.sprintf "pcs ssc=%.1f forge=%g t=%d" ssc sig_forge t)
+              r.Mc.rate r.Mc.predicted)
+          [ 0.6, 1e-3, 8; 0.5, 0.0, 8 ]);
+    slow_case "combined survival conforms to eq. 14 within 3 sigma" (fun () ->
+        let drbg = Sc_hash.Drbg.create ~seed:"mc-conf-comb" in
+        (* Overlap of the union bound at this regime is ~8e-6, two
+           orders of magnitude under the 3-sigma noise floor. *)
+        let r =
+          Mc.combined_experiment ~drbg ~csc:0.5 ~ssc:0.5 ~range:2.0
+            ~sig_forge:0.0 ~t:12 ~trials
+        in
+        check (Alcotest.float 1e-12) "closed form"
+          (Sc_audit.Sampling.pr_cheat ~csc:0.5 ~ssc:0.5 ~range:2.0
+             ~sig_forge:0.0 ~t:12)
+          r.Mc.predicted;
+        within_3_sigma "combined" r.Mc.rate r.Mc.predicted);
+  ]
+
 let engine_tests =
   let open Util in
   [
@@ -228,4 +285,6 @@ let engine_tests =
         check Alcotest.int "same bytes" a.Engine.total_bytes b.Engine.total_bytes);
   ]
 
-let suite = event_queue_tests @ network_tests @ adversary_tests @ montecarlo_tests @ engine_tests
+let suite =
+  event_queue_tests @ network_tests @ adversary_tests @ montecarlo_tests
+  @ montecarlo_conformance_tests @ engine_tests

@@ -236,6 +236,7 @@ let message_tests =
 let endpoint_tests =
   let open Util in
   let module E = Seccloud.Endpoint in
+  let module T = Seccloud.Transport in
   let fresh tag ?(compute = Sc_compute.Executor.Honest) () =
     let sys =
       Seccloud.System.create ~params:Sc_pairing.Params.toy
@@ -246,6 +247,12 @@ let endpoint_tests =
     let server = E.Server.create sys cloud in
     let da = E.Da.create sys in
     sys, user, server, da
+  in
+  (* A perfect channel to the server endpoint: the transport layer in
+     its degenerate configuration. *)
+  let wire_to sys server =
+    T.create ~peer:"cs" ~public:(Seccloud.System.public sys)
+      ~handler:(E.Server.handle server) ()
   in
   let numeric_payloads n =
     List.init n (fun i -> Sc_storage.Block.encode_ints [ i; 2 * i; 3 * i ])
@@ -268,15 +275,13 @@ let endpoint_tests =
         let sys, user, server, da = fresh "sa" () in
         assert (upload_via_wire sys user server);
         let report =
-          E.Da.audit_storage_over_wire da
-            ~transport:(E.Server.handle server ~now:1.0)
+          E.Da.audit_storage_over_wire da ~transport:(wire_to sys server)
             ~owner:"alice" ~file:"ef" ~indices:[ 0; 3; 7 ]
         in
         check Alcotest.bool "intact" true report.Seccloud.Agency.intact;
         (* missing file over the wire: not intact *)
         let bad =
-          E.Da.audit_storage_over_wire da
-            ~transport:(E.Server.handle server ~now:1.0)
+          E.Da.audit_storage_over_wire da ~transport:(wire_to sys server)
             ~owner:"alice" ~file:"ghost" ~indices:[ 0 ]
         in
         check Alcotest.bool "ghost rejected" false bad.Seccloud.Agency.intact);
@@ -301,8 +306,7 @@ let endpoint_tests =
           Seccloud.User.delegate_audit user ~now:0.0 ~lifetime:1e9 ~scope:"ep"
         in
         let verdict =
-          E.Da.audit_computation_over_wire da
-            ~transport:(E.Server.handle server ~now:3.0)
+          E.Da.audit_computation_over_wire da ~transport:(wire_to sys server)
             ~owner:"alice" ~file:"ef" ~commitment ~warrant ~now:3.0 ~samples:4
         in
         check Alcotest.bool "valid" true verdict.Protocol.valid);
@@ -329,8 +333,7 @@ let endpoint_tests =
           Seccloud.User.delegate_audit user ~now:0.0 ~lifetime:1e9 ~scope:"ep"
         in
         let verdict =
-          E.Da.audit_computation_over_wire da
-            ~transport:(E.Server.handle server ~now:3.0)
+          E.Da.audit_computation_over_wire da ~transport:(wire_to sys server)
             ~owner:"alice" ~file:"ef" ~commitment ~warrant ~now:3.0 ~samples:6
         in
         check Alcotest.bool "invalid" false verdict.Protocol.valid);
@@ -356,8 +359,7 @@ let endpoint_tests =
           }
         in
         let verdict =
-          E.Da.audit_computation_over_wire da
-            ~transport:(E.Server.handle server ~now:1.0)
+          E.Da.audit_computation_over_wire da ~transport:(wire_to sys server)
             ~owner:"alice" ~file:"never" ~commitment ~warrant ~now:1.0 ~samples:2
         in
         check Alcotest.bool "invalid" false verdict.Protocol.valid);
