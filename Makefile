@@ -19,8 +19,10 @@ bench:
 	dune exec bench/main.exe
 
 # One command between you and a perf regression: build, run the suite
-# including the slow conformance cases, then the quick pairing bench
-# (writes BENCH_pairing.json) and the cost-invariant check.
+# including the slow conformance cases, then the quick bench (writes
+# BENCH_pairing.json and BENCH_parallel.json — the latter exits
+# nonzero if N-domain results are not value-identical with 1-domain)
+# and the cost-invariant check.
 bench-check:
 	dune build
 	$(MAKE) test-slow
@@ -37,6 +39,8 @@ metrics-check:
 	dune exec bin/seccloud_cli.exe -- stats --params toy --check
 	dune exec bin/seccloud_cli.exe -- stats --params toy --check \
 	  --drop 0.3 --tamper 0.05 --seed lossy
+	SECCLOUD_DOMAINS=4 dune exec bin/seccloud_cli.exe -- stats --params toy \
+	  --check
 
 repro:
 	dune exec bin/repro.exe -- all

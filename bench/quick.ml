@@ -106,3 +106,157 @@ let () =
     (fun (name, v) -> Printf.printf "%-28s %12d\n" name v)
     counters;
   print_endline "wrote BENCH_pairing.json"
+
+(* --- Domain-pool fan-out: 1 domain vs N ------------------------------
+
+   Times the three rewired hot paths at both domain counts and — the
+   part `make bench-check` actually gates on — verifies the results
+   are value-identical, so parallelism can never change a root, a
+   verdict or a Monte-Carlo outcome. *)
+
+module Merkle = Sc_merkle.Tree
+module Mc = Sc_sim.Montecarlo
+module Protocol = Sc_audit.Protocol
+module Batch = Sc_audit.Batch
+module Executor = Sc_compute.Executor
+module Task = Sc_compute.Task
+
+let bench_domains =
+  match Sys.getenv_opt "SECCLOUD_BENCH_DOMAINS" with
+  | Some s -> (try max 2 (int_of_string s) with _ -> 4)
+  | None -> 4
+
+let with_domains d f =
+  let saved = Sc_parallel.domain_count () in
+  Sc_parallel.set_domain_count d;
+  Fun.protect ~finally:(fun () -> Sc_parallel.set_domain_count saved) f
+
+(* Counter-ledger delta of one run of [f]: every counter the workload
+   moved, by how much.  Identical at 1 and N domains iff the fan-out
+   neither loses nor duplicates work. *)
+let counter_deltas f =
+  let module Telemetry = Sc_telemetry.Telemetry in
+  let counters () =
+    List.filter_map
+      (function n, Telemetry.Counter v -> Some (n, v) | _ -> None)
+      (Telemetry.snapshot ())
+  in
+  let before = counters () in
+  ignore (f ());
+  List.filter_map
+    (fun (n, v) ->
+      let v0 = Option.value ~default:0 (List.assoc_opt n before) in
+      if v <> v0 then Some (n, v - v0) else None)
+    (counters ())
+
+let () =
+  let system =
+    Seccloud.System.create ~params:Sc_pairing.Params.toy ~seed:"bench-parallel"
+      ~cs_ids:[ "cs-1" ] ~da_id:"da" ()
+  in
+  let pub = Seccloud.System.public system in
+  let da_key = Seccloud.System.da_key system in
+  let cs_key = Seccloud.System.cs_key system "cs-1" in
+  let alice = Seccloud.System.register_user system "alice" in
+  let bs = Seccloud.System.bytes_source system in
+  (* Merkle workload. *)
+  let payloads = List.init 16_384 (fun i -> "leaf-" ^ string_of_int i) in
+  let merkle () = Merkle.root (Merkle.build payloads) in
+  (* Batched-audit workload: 4 jobs x 8 samples over honest executions. *)
+  let warrant =
+    Sc_ibc.Warrant.issue pub alice ~bytes_source:bs ~delegatee:"da" ~now:0.0
+      ~lifetime:1e9 ~scope:"bench"
+  in
+  let make_job tag =
+    let blocks =
+      List.init 20 (fun i -> Sc_storage.Block.encode_ints [ i; i * 2; i * 3 ])
+    in
+    let server =
+      Sc_storage.Server.create Sc_storage.Server.Honest
+        ~drbg:(Sc_hash.Drbg.create ~seed:("bench-server:" ^ tag))
+    in
+    Sc_storage.Server.store server
+      (Sc_storage.Signer.sign_file pub alice ~bytes_source:bs ~cs_id:"cs-1"
+         ~da_id:"da" ~file:"data" blocks);
+    let drbg = Sc_hash.Drbg.create ~seed:("bench-exec:" ^ tag) in
+    let service =
+      List.init 16 (fun i -> { Task.func = Task.Sum; position = i mod 20 })
+    in
+    let execution =
+      Executor.run pub ~cs_key ~server ~behaviour:Executor.Honest ~drbg
+        ~owner:"alice" ~file:"data" service
+    in
+    let commitment = Protocol.commitment_of_execution execution in
+    let challenge =
+      Protocol.make_challenge
+        ~drbg:(Sc_hash.Drbg.create ~seed:("bench-chal:" ^ tag))
+        ~n_tasks:commitment.Protocol.n_tasks ~samples:8 ~warrant
+    in
+    let responses =
+      Option.get (Protocol.respond pub ~now:1.0 execution challenge)
+    in
+    { Batch.owner = "alice"; commitment; challenge; responses }
+  in
+  let jobs = List.map make_job [ "a"; "b"; "c"; "d" ] in
+  let batch () = Batch.verify_jobs pub ~verifier_key:da_key ~role:`Da jobs in
+  (* Monte-Carlo workload; fresh same-seed DRBG per run so both domain
+     counts consume an identical trial stream. *)
+  let mc () =
+    Mc.combined_experiment
+      ~drbg:(Sc_hash.Drbg.create ~seed:"bench-mc")
+      ~csc:0.5 ~ssc:0.5 ~range:2.0 ~sig_forge:0.0 ~t:6 ~trials:10_000
+  in
+  let measure d =
+    with_domains d (fun () ->
+        let t_merkle = time_ns ~iters:5 merkle in
+        let t_batch = time_ns ~iters:5 batch in
+        let t_mc = time_ns ~iters:3 mc in
+        let ledger = counter_deltas (fun () -> ignore (merkle ()); batch ()) in
+        ( t_merkle, t_batch, t_mc, merkle (), batch (), (mc ()).Mc.survived,
+          ledger ))
+  in
+  let m1, b1, c1, root1, verdict1, surv1, ledger1 = measure 1 in
+  let mn, bn, cn, rootn, verdictn, survn, ledgern = measure bench_domains in
+  let identity_ok =
+    String.equal root1 rootn && verdict1 = verdictn && surv1 = survn
+    && ledger1 = ledgern
+  in
+  let entries =
+    [
+      "merkle_build_16384", m1, mn;
+      "audit_batch_4x8", b1, bn;
+      "montecarlo_10k", c1, cn;
+    ]
+  in
+  let json =
+    Printf.sprintf "{\n  \"domains\": %d,\n%s,\n  \"identity_ok\": %b\n}\n"
+      bench_domains
+      (String.concat ",\n"
+         (List.map
+            (fun (name, t1, tn) ->
+              Printf.sprintf
+                "  \"%s_1d_ns\": %.0f,\n  \"%s_%dd_ns\": %.0f,\n  \
+                 \"%s_speedup\": %.2f"
+                name t1 name bench_domains tn name (t1 /. tn))
+            entries))
+      identity_ok
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  List.iter
+    (fun (name, t1, tn) ->
+      Printf.printf "%-28s 1d %10.1f us  %dd %10.1f us  (x%.2f)\n" name
+        (t1 /. 1e3) bench_domains (tn /. 1e3) (t1 /. tn))
+    entries;
+  Printf.printf "value identity at %d domains: %s\n" bench_domains
+    (if identity_ok then "ok" else "MISMATCH");
+  if ledger1 <> ledgern then
+    List.iter
+      (fun (n, d) ->
+        let d' = Option.value ~default:0 (List.assoc_opt n ledgern) in
+        if d <> d' then
+          Printf.printf "  counter %-32s 1d %+d  %dd %+d\n" n d bench_domains d')
+      ledger1;
+  print_endline "wrote BENCH_parallel.json";
+  if not identity_ok then exit 1

@@ -66,9 +66,6 @@ let verify_jobs pub ~verifier_key ~role jobs =
   Telemetry.with_span ~name:"audit.batch_verify"
     ~attrs:[ "jobs", string_of_int (List.length jobs) ]
   @@ fun () ->
-  let failures = ref [] in
-  let fail f = failures := f :: !failures in
-  let entries = ref [] in
   (* Root commitment signatures across all jobs are checked with one
      batched multi-pairing equation; only when that fails are jobs
      re-checked individually to attribute blame. *)
@@ -77,52 +74,77 @@ let verify_jobs pub ~verifier_key ~role jobs =
       "root:" ^ job.commitment.Protocol.root,
       job.commitment.Protocol.root_signature )
   in
-  if not (Ibs.verify_batch pub (List.map root_sig_of jobs)) then
-    List.iter
+  let root_failures =
+    if Ibs.verify_batch pub (List.map root_sig_of jobs) then []
+    else
+      List.filter_map
+        (fun job ->
+          let signer, msg, s = root_sig_of job in
+          if Ibs.verify pub ~signer ~msg s then None
+          else Some Protocol.Root_signature_wrong)
+        jobs
+  in
+  (* Per-job recompute/root/position checks are independent: fan the
+     jobs out across the domain pool.  Signature material is only
+     *collected* here; the aggregate equation below (and the
+     sequential, deterministic blame fallback) is unchanged, and both
+     failure and entry order match the sequential run exactly. *)
+  let per_job =
+    Sc_parallel.parallel_map
       (fun job ->
-        let signer, msg, s = root_sig_of job in
-        if not (Ibs.verify pub ~signer ~msg s)
-        then fail Protocol.Root_signature_wrong)
-      jobs;
-  List.iter
-    (fun job ->
-      let by_index =
-        List.fold_left
-          (fun acc (r : Executor.response) -> (r.Executor.task_index, r) :: acc)
-          [] job.responses
-      in
-      List.iter
-        (fun i ->
-          match List.assoc_opt i by_index with
-          | None -> fail (Protocol.Missing_response i)
-          | Some resp ->
-            let fs, _ = non_signature_checks job resp in
-            List.iter fail fs;
-            (match dvs_entry role job resp with
-            | Some e -> entries := (job, resp, e) :: !entries
-            | None -> ()))
-        job.challenge.Protocol.sample_indices)
-    jobs;
+        let by_index =
+          List.fold_left
+            (fun acc (r : Executor.response) ->
+              (r.Executor.task_index, r) :: acc)
+            [] job.responses
+        in
+        List.map
+          (fun i ->
+            match List.assoc_opt i by_index with
+            | None -> [ Protocol.Missing_response i ], None
+            | Some resp ->
+              let fs, _ = non_signature_checks job resp in
+              let entry =
+                Option.map
+                  (fun e -> job, resp, e)
+                  (dvs_entry role job resp)
+              in
+              fs, entry)
+          job.challenge.Protocol.sample_indices)
+      jobs
+  in
+  let flat = List.concat per_job in
+  let check_failures = List.concat_map fst flat in
+  let entries = List.rev (List.filter_map snd flat) in
   (* One aggregate equation covers every sampled signature. *)
-  let agg_entries = List.map (fun (_, _, e) -> e) !entries in
-  if not (Agg.verify_batch pub ~verifier_key agg_entries) then begin
-    (* Attribute blame: re-check signatures individually. *)
-    List.iter
-      (fun (job, (resp : Executor.response), _) ->
-        match resp.Executor.read with
-        | None -> ()
-        | Some { Sc_storage.Server.claimed; signed } ->
-          if not
-               (Signer.verify_block pub ~verifier_key ~role ~owner:job.owner
-                  claimed signed)
-          then fail (Protocol.Signature_wrong resp.Executor.task_index))
-      !entries;
-    (* A batch that fails aggregation but passes every individual
-       check indicates an inconsistent aggregate (e.g. a mauled Σ):
-       record it against the whole batch. *)
-    if !failures = [] then fail Protocol.Root_signature_wrong
-  end;
-  { Protocol.valid = !failures = []; failures = List.rev !failures }
+  let agg_entries = List.map (fun (_, _, e) -> e) entries in
+  let blame_failures =
+    if Agg.verify_batch pub ~verifier_key agg_entries then []
+    else begin
+      (* Attribute blame: re-check signatures individually. *)
+      let blamed =
+        List.filter_map
+          (fun (job, (resp : Executor.response), _) ->
+            match resp.Executor.read with
+            | None -> None
+            | Some { Sc_storage.Server.claimed; signed } ->
+              if
+                Signer.verify_block pub ~verifier_key ~role ~owner:job.owner
+                  claimed signed
+              then None
+              else Some (Protocol.Signature_wrong resp.Executor.task_index))
+          entries
+      in
+      (* A batch that fails aggregation but passes every individual
+         check indicates an inconsistent aggregate (e.g. a mauled Σ):
+         record it against the whole batch. *)
+      if blamed = [] && root_failures = [] && check_failures = [] then
+        [ Protocol.Root_signature_wrong ]
+      else blamed
+    end
+  in
+  let failures = root_failures @ check_failures @ blame_failures in
+  { Protocol.valid = failures = []; failures }
 
 (* Fold channel-level outcomes into a batch verdict: servers that
    never produced a usable audit round are blamed exactly like failed

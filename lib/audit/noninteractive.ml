@@ -11,15 +11,20 @@ let derive_indices ~root ~epoch ~owner ~n_tasks ~samples =
   (* Counter-mode expansion of the transcript seed into a stream of
      candidate indices; duplicates are skipped so the sample is a
      uniform-ish draw without replacement. *)
+  (* Canonical framing with distinct domain tags: the old ":"-joined
+     transcript let (root, epoch, owner) tuples collide across part
+     boundaries, and the counter blocks could alias the seed
+     derivation itself. *)
   let seed =
-    Sc_hash.Sha256.digest_concat
-      [ "ni-audit:"; root; ":"; string_of_int epoch; ":"; owner ]
+    Sc_hash.Encode.digest [ "ni-audit"; root; string_of_int epoch; owner ]
   in
   let chosen = Hashtbl.create samples in
   let out = ref [] in
   let counter = ref 0 in
   while Hashtbl.length chosen < samples do
-    let block = Sc_hash.Sha256.digest_concat [ seed; string_of_int !counter ] in
+    let block =
+      Sc_hash.Encode.digest [ "ni-audit-block"; seed; string_of_int !counter ]
+    in
     incr counter;
     (* 8 four-byte candidates per digest *)
     let i = ref 0 in

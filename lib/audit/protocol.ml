@@ -113,25 +113,32 @@ let verify pub ~verifier_key ~role ~owner commitment chal responses =
   Telemetry.with_span ~name:"audit.verify"
     ~attrs:[ "samples", string_of_int (List.length chal.sample_indices) ]
   @@ fun () ->
-  let failures = ref [] in
-  let fail f = failures := f :: !failures in
   (* Root commitment authenticity: Sig_CS(R). *)
-  if not
-       (Ibs.verify pub ~signer:commitment.cs_id
-          ~msg:("root:" ^ commitment.root)
-          commitment.root_signature)
-  then fail Root_signature_wrong;
+  let root_failures =
+    if
+      Ibs.verify pub ~signer:commitment.cs_id
+        ~msg:("root:" ^ commitment.root)
+        commitment.root_signature
+    then []
+    else [ Root_signature_wrong ]
+  in
   let by_index =
     List.fold_left
       (fun acc (r : Executor.response) -> (r.Executor.task_index, r) :: acc)
       [] responses
   in
-  List.iter
-    (fun i ->
-      match List.assoc_opt i by_index with
-      | None -> fail (Missing_response i)
-      | Some resp ->
-        List.iter fail
-          (check_sample pub ~verifier_key ~role ~owner ~commitment resp))
-    chal.sample_indices;
-  { valid = !failures = []; failures = List.rev !failures }
+  (* Per-sample recomputation and signature checks are independent:
+     fan them out across the domain pool.  Failures keep the sample
+     order of the challenge, so verdicts are identical at any domain
+     count. *)
+  let per_sample =
+    Sc_parallel.parallel_map
+      (fun i ->
+        match List.assoc_opt i by_index with
+        | None -> [ Missing_response i ]
+        | Some resp ->
+          check_sample pub ~verifier_key ~role ~owner ~commitment resp)
+      chal.sample_indices
+  in
+  let failures = root_failures @ List.concat per_sample in
+  { valid = failures = []; failures }

@@ -1,0 +1,46 @@
+(* Canonical, injective message framing.
+
+   Every signing/KDF message in the repository used to be built with
+   [Printf.sprintf] and a one-byte delimiter ("block|%s|%d|%s", ...).
+   Those encodings are ambiguous: the parts can donate bytes to each
+   other across the delimiter, so distinct (file, index, data) triples
+   can serialize to the same string and a signature over one binds the
+   other — the delimiter-injection protocol break catalogued by Zhang
+   et al. (2019) for remote integrity-checking schemes.
+
+   [canonical] length-prefixes every part ("<len>:<part>"), which
+   makes parsing deterministic and the encoding injective: [decode] is
+   a total inverse on the image (and rejects non-canonical length
+   digits, so the image itself is unambiguous).  Call sites pass a
+   distinct domain-separation tag as the first part. *)
+
+let frame parts =
+  List.concat_map
+    (fun p -> [ string_of_int (String.length p); ":"; p ])
+    parts
+
+let canonical parts = String.concat "" (frame parts)
+
+let decode s =
+  let n = String.length s in
+  let rec parts acc i =
+    if i = n then Some (List.rev acc)
+    else begin
+      let rec digits j =
+        if j < n && s.[j] >= '0' && s.[j] <= '9' then digits (j + 1) else j
+      in
+      let j = digits i in
+      if j = i || j >= n || s.[j] <> ':' then None
+      else if j > i + 1 && s.[i] = '0' then None (* leading zero: non-canonical *)
+      else
+        match int_of_string_opt (String.sub s i (j - i)) with
+        | None -> None (* overflow *)
+        | Some len ->
+          let start = j + 1 in
+          if len < 0 || len > n - start then None
+          else parts (String.sub s start len :: acc) (start + len)
+    end
+  in
+  parts [] 0
+
+let digest parts = Sha256.digest_concat (frame parts)

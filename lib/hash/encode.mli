@@ -1,0 +1,29 @@
+(** Canonical, injective message framing.
+
+    Replaces the delimiter-joined [Printf.sprintf "tag|%s|%d|%s"]
+    signing messages, which were forgeable under delimiter injection:
+    a file named ["f|1"] at index 2 and a file named ["f"] at index 1
+    could serialize to the same string, cross-binding one signature to
+    a different (file, index, data) triple.  Each part is tagged with
+    its decimal length, so parsing is deterministic and no two
+    distinct part lists share an encoding.  Conventionally the first
+    part is a domain-separation tag (["block"], ["ibe-ks"], ...). *)
+
+val canonical : string list -> string
+(** [canonical parts] is the length-prefixed concatenation
+    ["<len>:<part>"] of the parts.  Injective: [decode (canonical l) =
+    Some l] for every [l]. *)
+
+val decode : string -> string list option
+(** Total inverse of {!canonical} on its image; [None] on anything a
+    canonical encoding cannot produce (truncation, trailing bytes,
+    leading-zero lengths). *)
+
+val frame : string list -> string list
+(** The encoding as a fragment list, [String.concat ""]-equal to
+    {!canonical} — feed it to {!Sha256.digest_concat} to hash without
+    building the intermediate string. *)
+
+val digest : string list -> string
+(** [digest parts = Sha256.digest_concat (frame parts)]: the SHA-256
+    digest of the canonical encoding. *)

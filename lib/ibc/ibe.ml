@@ -8,16 +8,19 @@ module Hmac = Sc_hash.Hmac
 type ciphertext = { u : Curve.point; body : string; tag : string }
 
 (* Key material from the pairing value: independent keystream and MAC
-   keys by domain separation. *)
+   keys by domain separation, over the canonical length-prefixed
+   framing so no (label, input) pair can alias another across part
+   boundaries. *)
 let derive prm k label =
-  Sha256.digest_concat [ "ibe-"; label; ":"; Tate.gt_to_bytes prm k ]
+  Sc_hash.Encode.digest [ "ibe-derive"; label; Tate.gt_to_bytes prm k ]
 
 let keystream prm k len =
   let seed = derive prm k "ks" in
   let buf = Buffer.create len in
   let counter = ref 0 in
   while Buffer.length buf < len do
-    Buffer.add_string buf (Sha256.digest_concat [ seed; string_of_int !counter ]);
+    Buffer.add_string buf
+      (Sc_hash.Encode.digest [ "ibe-ks-block"; seed; string_of_int !counter ]);
     incr counter
   done;
   Buffer.sub buf 0 len

@@ -16,15 +16,23 @@ let c_proof_checks = Telemetry.counter "merkle.proof_checks"
 let leaf_hash payload = Sc_hash.Sha256.digest_concat [ "leaf:"; payload ]
 let node_hash left right = Sc_hash.Sha256.digest_concat [ "node:"; left; right ]
 
+(* Each level's parents only read the (frozen) level below, so level
+   construction fans out over the domain pool in disjoint index
+   ranges; small levels stay inline under the chunk floor.  The
+   resulting hashes are identical at any domain count. *)
+let level_min_chunk = 256
+
 let build_levels leaf_hashes =
   let rec up acc level =
     if Array.length level <= 1 then List.rev (level :: acc)
     else begin
       let n = Array.length level in
       let parent = Array.make ((n + 1) / 2) "" in
-      for i = 0 to (n / 2) - 1 do
-        parent.(i) <- node_hash level.(2 * i) level.((2 * i) + 1)
-      done;
+      Sc_parallel.iter_ranges ~min_chunk:level_min_chunk (n / 2)
+        (fun lo hi ->
+          for i = lo to hi - 1 do
+            parent.(i) <- node_hash level.(2 * i) level.((2 * i) + 1)
+          done);
       if n land 1 = 1 then parent.((n - 1) / 2) <- level.(n - 1);
       up (level :: acc) parent
     end
@@ -39,7 +47,9 @@ let build_of_hashes hashes =
     ~attrs:[ "leaves", string_of_int (List.length hashes) ]
     (fun () -> { levels = build_levels (Array.of_list hashes) })
 
-let build payloads = build_of_hashes (List.map leaf_hash payloads)
+let build payloads =
+  build_of_hashes
+    (Sc_parallel.parallel_map ~min_chunk:level_min_chunk leaf_hash payloads)
 let root t = t.levels.(Array.length t.levels - 1).(0)
 let size t = Array.length t.levels.(0)
 let depth t = Array.length t.levels - 1

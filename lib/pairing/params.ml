@@ -97,4 +97,18 @@ let random_scalar t ~bytes_source =
   let qm1 = Nat.sub t.q Nat.one in
   Nat.add Nat.one (Nat.random_below ~bytes_source qm1)
 
-let mul_g t k = Curve.mul_precomp t.curve (Lazy.force t.g_precomp) (Nat.rem k t.q)
+(* Lazy.force is not domain-safe (concurrent first forcings race);
+   serialize only the initial computation — once the lazy is a value,
+   forcing it is a read and takes no lock. *)
+let precomp_lock = Mutex.create ()
+
+let force_precomp t =
+  if Lazy.is_val t.g_precomp then Lazy.force t.g_precomp
+  else begin
+    Mutex.lock precomp_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock precomp_lock)
+      (fun () -> Lazy.force t.g_precomp)
+  end
+
+let mul_g t k = Curve.mul_precomp t.curve (force_precomp t) (Nat.rem k t.q)

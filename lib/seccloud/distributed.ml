@@ -42,8 +42,11 @@ let store_replicated user clouds ~file payloads =
   List.for_all (fun cloud -> User.store user cloud ~file payloads) clouds
 
 let execute ~owner ~file shards =
+  (* Shards target distinct clouds (each with its own DRBG and server
+     state), so execution fans out across the domain pool; results are
+     re-addressed by original index below, independent of schedule. *)
   let shards =
-    List.map
+    Sc_parallel.parallel_map
       (fun shard ->
         shard, Cloud.execute shard.cloud ~owner ~file shard.service)
       shards

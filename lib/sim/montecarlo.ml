@@ -11,45 +11,60 @@ let fcs_sample_survives drbg ~csc ~range =
 let pcs_sample_survives drbg ~ssc ~sig_forge =
   if bernoulli drbg ssc then true else bernoulli drbg sig_forge
 
-let run_trials drbg ~t ~trials ~predicted sample_survives =
-  let survived = ref 0 in
-  for _ = 1 to trials do
-    let rec all_pass k = k = 0 || (sample_survives drbg && all_pass (k - 1)) in
-    if all_pass t then incr survived
-  done;
+(* Trials fan out over the domain pool in a *fixed* number of chunks,
+   each driven by its own DRBG forked from the caller's stream up
+   front.  The outcome is therefore a pure function of the seed —
+   identical at every SECCLOUD_DOMAINS setting, only the schedule
+   changes.  (A shared stream would interleave nondeterministically
+   across domains.) *)
+let n_chunks = 64
+
+let run_trials drbg ~trials ~predicted trial =
+  let k = max 1 (min n_chunks trials) in
+  let sub =
+    Array.init k (fun _ ->
+        Sc_hash.Drbg.create ~seed:(Sc_hash.Drbg.generate drbg 32))
+  in
+  let counts = Array.make k 0 in
+  let base = trials / k and extra = trials mod k in
+  Sc_parallel.iter_ranges k (fun lo hi ->
+      for c = lo to hi - 1 do
+        let d = sub.(c) in
+        let n_c = base + if c < extra then 1 else 0 in
+        let s = ref 0 in
+        for _ = 1 to n_c do
+          if trial d then incr s
+        done;
+        counts.(c) <- !s
+      done);
+  let survived = Array.fold_left ( + ) 0 counts in
   {
     trials;
-    survived = !survived;
-    rate = float_of_int !survived /. float_of_int trials;
+    survived;
+    rate = float_of_int survived /. float_of_int trials;
     predicted;
   }
+
+let all_pass t sample_survives d =
+  let rec go k = k = 0 || (sample_survives d && go (k - 1)) in
+  go t
 
 let fcs_experiment ~drbg ~csc ~range ~t ~trials =
-  run_trials drbg ~t ~trials
+  run_trials drbg ~trials
     ~predicted:(Sc_audit.Sampling.pr_fcs ~csc ~range ~t)
-    (fun d -> fcs_sample_survives d ~csc ~range)
+    (all_pass t (fun d -> fcs_sample_survives d ~csc ~range))
 
 let pcs_experiment ~drbg ~ssc ~sig_forge ~t ~trials =
-  run_trials drbg ~t ~trials
+  run_trials drbg ~trials
     ~predicted:(Sc_audit.Sampling.pr_pcs ~ssc ~sig_forge ~t)
-    (fun d -> pcs_sample_survives d ~ssc ~sig_forge)
+    (all_pass t (fun d -> pcs_sample_survives d ~ssc ~sig_forge))
 
 let combined_experiment ~drbg ~csc ~ssc ~range ~sig_forge ~t ~trials =
-  let predicted = Sc_audit.Sampling.pr_cheat ~csc ~ssc ~range ~sig_forge ~t in
-  let survived = ref 0 in
-  for _ = 1 to trials do
-    (* The adversary mounts one of the two attacks per audit; eq. (14)
-       upper-bounds the union, so we play both and count survival of
-       either. *)
-    let rec fcs_pass k = k = 0 || (fcs_sample_survives drbg ~csc ~range && fcs_pass (k - 1)) in
-    let rec pcs_pass k =
-      k = 0 || (pcs_sample_survives drbg ~ssc ~sig_forge && pcs_pass (k - 1))
-    in
-    if fcs_pass t || pcs_pass t then incr survived
-  done;
-  {
-    trials;
-    survived = !survived;
-    rate = float_of_int !survived /. float_of_int trials;
-    predicted;
-  }
+  (* The adversary mounts one of the two attacks per audit; eq. (14)
+     upper-bounds the union, so we play both and count survival of
+     either. *)
+  run_trials drbg ~trials
+    ~predicted:(Sc_audit.Sampling.pr_cheat ~csc ~ssc ~range ~sig_forge ~t)
+    (fun d ->
+      all_pass t (fun d -> fcs_sample_survives d ~csc ~range) d
+      || all_pass t (fun d -> pcs_sample_survives d ~ssc ~sig_forge) d)

@@ -1,6 +1,12 @@
 type t = { file : string; index : int; data : string }
 
-let signing_message b = Printf.sprintf "block|%s|%d|%s" b.file b.index b.data
+(* Canonical length-prefixed encoding: the old "block|%s|%d|%s" format
+   was forgeable under delimiter injection (file "f|1" at index 2 and
+   file "f" at index 1 with a "2|"-prefixed payload serialize to the
+   same message, cross-binding one signature to the other triple). *)
+let signing_message b =
+  Sc_hash.Encode.canonical
+    [ "block"; b.file; string_of_int b.index; b.data ]
 
 let encode_ints ints = String.concat "," (List.map string_of_int ints)
 

@@ -5,13 +5,19 @@ module Merkle = Sc_merkle.Tree
 
 let tombstone = "\x00__tombstone__"
 
+(* Canonical length-prefixed encodings (see Sc_hash.Encode): the old
+   "dblock|%s|%d|%d|%s" and "%d|%d|%s" formats were ambiguous under
+   delimiter injection — a '|' in the file name or payload could
+   cross-bind a signature or leaf to a different tuple. *)
 let signing_message ~file ~index ~version ~payload =
-  Printf.sprintf "dblock|%s|%d|%d|%s" file index version payload
+  Sc_hash.Encode.canonical
+    [ "dblock"; file; string_of_int index; string_of_int version; payload ]
 
 (* Leaf contents bind version, index and payload, so stale replays and
    cross-position swaps both change the leaf hash. *)
 let leaf_content ~index ~version ~payload =
-  Printf.sprintf "%d|%d|%s" version index payload
+  Sc_hash.Encode.canonical
+    [ "dleaf"; string_of_int version; string_of_int index; payload ]
 
 type entry = {
   payload : string;
@@ -187,7 +193,8 @@ type audit_report = {
 }
 
 let root_statement_msg ~file ~count ~root =
-  Printf.sprintf "droot|%s|%d|%s" file count (Sc_hash.Sha256.hex_of_digest root)
+  Sc_hash.Encode.canonical
+    [ "droot"; file; string_of_int count; Sc_hash.Sha256.hex_of_digest root ]
 
 let publish_root client ~bytes_source =
   let msg =
@@ -197,12 +204,12 @@ let publish_root client ~bytes_source =
   msg, Ibs.sign client.pub client.key ~bytes_source msg
 
 let parse_root_statement msg =
-  match String.split_on_char '|' msg with
-  | [ "droot"; file; count; root_hex ] ->
+  match Sc_hash.Encode.decode msg with
+  | Some [ "droot"; file; count; root_hex ] ->
     (match int_of_string_opt count with
     | Some count when count > 0 -> Some (file, count, root_hex)
     | Some _ | None -> None)
-  | _ -> None
+  | Some _ | None -> None
 
 let audit pub ~verifier_key ~owner ~file ~root_statement server ~drbg ~samples =
   let failure = { sampled = 0; valid = 0; invalid_indices = []; intact = false } in

@@ -31,6 +31,13 @@ val signing_message :
   file:string -> index:int -> version:int -> payload:string -> string
 (** The versioned message covered by each block signature. *)
 
+val root_statement_msg : file:string -> count:int -> root:string -> string
+(** Canonical statement the owner signs when publishing a root. *)
+
+val parse_root_statement : string -> (string * int * string) option
+(** Inverse of {!root_statement_msg}: [(file, count, root_hex)].
+    Rejects anything that is not a canonical root statement. *)
+
 val init :
   Sc_ibc.Setup.public ->
   Sc_ibc.Setup.identity_key ->

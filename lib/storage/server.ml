@@ -50,7 +50,10 @@ let read_honest t ~file ~index =
    read. *)
 let cheats_on ~file ~index fraction =
   let material =
-    Sc_hash.Sha256.digest_concat [ "server-cheat:"; file; ":"; string_of_int index ]
+    (* Canonical framing: with the old ":"-joined concatenation a file
+       name containing ':' could alias another (file, index) pair and
+       inherit its cheat decision. *)
+    Sc_hash.Encode.digest [ "server-cheat"; file; string_of_int index ]
   in
   let v = ref 0 in
   String.iter (fun c -> v := ((!v lsl 8) lor Char.code c) land 0xFFFFFF) (String.sub material 0 3);

@@ -3,7 +3,15 @@
    metric, later calls return the same object, so call sites can hold
    the metric in a module-level binding and pay one hashtable lookup
    per process, not per event.  [reset] zeroes values but keeps the
-   objects, so held references stay valid. *)
+   objects, so held references stay valid.
+
+   Domain safety: one registry-wide mutex guards table lookup/insert,
+   every counter/gauge/histogram mutation, and snapshotting, so
+   increments from pool workers (lib/parallel) are exact — the
+   `attempts = rpc + retry`-style ledger invariants gated by `stats
+   --check` hold at any SECCLOUD_DOMAINS setting.  The single-domain
+   fast path stays cheap: an uncontended lock/unlock pair and no
+   allocation on [incr]/[add]/[observe]. *)
 
 type counter = { cname : string; mutable c : int }
 type gauge = { gname : string; mutable g : float }
@@ -19,6 +27,17 @@ type histogram = {
 type metric = C of counter | G of gauge | H of histogram
 
 let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
 
 (* Microsecond-scaled latency buckets: 10 µs .. 10 s. *)
 let default_buckets = [| 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7 |]
@@ -29,6 +48,7 @@ let kind_error name =
        name)
 
 let counter name =
+  locked @@ fun () ->
   match Hashtbl.find_opt table name with
   | Some (C c) -> c
   | Some _ -> kind_error name
@@ -38,6 +58,7 @@ let counter name =
     c
 
 let gauge name =
+  locked @@ fun () ->
   match Hashtbl.find_opt table name with
   | Some (G g) -> g
   | Some _ -> kind_error name
@@ -47,6 +68,7 @@ let gauge name =
     g
 
 let histogram ?(buckets = default_buckets) name =
+  locked @@ fun () ->
   match Hashtbl.find_opt table name with
   | Some (H h) -> h
   | Some _ -> kind_error name
@@ -64,14 +86,40 @@ let histogram ?(buckets = default_buckets) name =
     Hashtbl.add table name (H h);
     h
 
-let incr c = c.c <- c.c + 1
-let add c v = c.c <- c.c + v
-let value c = c.c
-let reset_counter c = c.c <- 0
+let incr c =
+  Mutex.lock lock;
+  c.c <- c.c + 1;
+  Mutex.unlock lock
+
+let add c v =
+  Mutex.lock lock;
+  c.c <- c.c + v;
+  Mutex.unlock lock
+
+let value c =
+  Mutex.lock lock;
+  let v = c.c in
+  Mutex.unlock lock;
+  v
+
+let reset_counter c =
+  Mutex.lock lock;
+  c.c <- 0;
+  Mutex.unlock lock
+
 let counter_name c = c.cname
 
-let set g v = g.g <- v
-let gauge_value g = g.g
+let set g v =
+  Mutex.lock lock;
+  g.g <- v;
+  Mutex.unlock lock
+
+let gauge_value g =
+  Mutex.lock lock;
+  let v = g.g in
+  Mutex.unlock lock;
+  v
+
 let gauge_name g = g.gname
 
 (* First bucket whose upper bound admits v; the trailing bucket
@@ -83,9 +131,11 @@ let bucket_index bounds v =
 
 let observe h v =
   let i = bucket_index h.bounds v in
+  Mutex.lock lock;
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum +. v;
-  h.n <- h.n + 1
+  h.n <- h.n + 1;
+  Mutex.unlock lock
 
 let histogram_name h = h.hname
 
@@ -108,19 +158,21 @@ let snapshot_histogram (h : histogram) =
     sum = h.sum; count = h.n }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
-      let v =
-        match m with
-        | C c -> Counter c.c
-        | G g -> Gauge g.g
-        | H h -> Histogram (snapshot_histogram h)
-      in
-      (name, v) :: acc)
-    table []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+          let v =
+            match m with
+            | C c -> Counter c.c
+            | G g -> Gauge g.g
+            | H h -> Histogram (snapshot_histogram h)
+          in
+          (name, v) :: acc)
+        table [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find name =
+  locked @@ fun () ->
   match Hashtbl.find_opt table name with
   | None -> None
   | Some (C c) -> Some (Counter c.c)
@@ -128,9 +180,11 @@ let find name =
   | Some (H h) -> Some (Histogram (snapshot_histogram h))
 
 let counter_value name =
+  locked @@ fun () ->
   match Hashtbl.find_opt table name with Some (C c) -> c.c | _ -> 0
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with

@@ -5,7 +5,12 @@
     the metric, later calls return the same object — so call sites
     hold the metric in a module-level binding and increment without
     any lookup.  {!reset} zeroes values but keeps the objects, so held
-    references stay valid across resets. *)
+    references stay valid across resets.
+
+    All operations are domain-safe: one registry-wide mutex serialises
+    creation, mutation and snapshots, and the mutation fast paths
+    ({!incr}, {!add}, {!observe}, {!set}) allocate nothing, so metrics
+    stay exact under concurrent increments from a domain pool. *)
 
 type counter
 type gauge

@@ -1,8 +1,11 @@
 (* Nested protocol spans over the monotone clock.  Every finished span
    feeds a latency histogram [span.<name>] (microseconds) in the
    registry; when a trace sink is installed it also emits one JSONL
-   object.  The span stack is per-process — the whole code base is
-   single-threaded, matching the rest of the library. *)
+   object.  The span stack is *per-domain* (Domain.DLS): a span opened
+   on a pool worker nests under that worker's own spans, never under
+   another domain's, and ids are drawn from one atomic sequence so a
+   merged trace stays unambiguous.  Sink emission is serialized by a
+   mutex so concurrent JSONL lines never interleave. *)
 
 type active = {
   id : int;
@@ -13,16 +16,21 @@ type active = {
   attrs : (string * string) list;
 }
 
-let next_id = ref 0
-let stack : active list ref = ref []
+let next_id = Atomic.make 0
+let stack_key = Domain.DLS.new_key (fun () -> ref ([] : active list))
+let stack () = Domain.DLS.get stack_key
 let sink : (string -> unit) option ref = ref None
+let sink_lock = Mutex.create ()
 
-let set_sink f = sink := f
+let set_sink f =
+  Mutex.lock sink_lock;
+  sink := f;
+  Mutex.unlock sink_lock
 
 let emit_line sp dur_ns =
   match !sink with
   | None -> ()
-  | Some emit ->
+  | Some _ ->
     let fields =
       [
         "name", Json.str sp.name;
@@ -39,11 +47,14 @@ let emit_line sp dur_ns =
         [ ( "attrs",
             Json.obj (List.map (fun (k, v) -> k, Json.str v) sp.attrs) ) ]
     in
-    emit (Json.obj fields)
+    let line = Json.obj fields in
+    Mutex.lock sink_lock;
+    (match !sink with None -> () | Some emit -> emit line);
+    Mutex.unlock sink_lock
 
 let with_span ?(attrs = []) ~name f =
-  incr next_id;
-  let id = !next_id in
+  let id = Atomic.fetch_and_add next_id 1 + 1 in
+  let stack = stack () in
   let parent, depth =
     match !stack with
     | [] -> None, 0
@@ -62,12 +73,12 @@ let with_span ?(attrs = []) ~name f =
       emit_line sp dur)
     f
 
-let current_depth () = List.length !stack
+let current_depth () = List.length !(stack ())
 
 let with_trace_channel oc f =
   let prev = !sink in
-  sink := Some (fun line -> output_string oc (line ^ "\n"));
-  Fun.protect ~finally:(fun () -> sink := prev) f
+  set_sink (Some (fun line -> output_string oc (line ^ "\n")));
+  Fun.protect ~finally:(fun () -> set_sink prev) f
 
 let with_trace_file path f =
   let oc = open_out path in

@@ -3,7 +3,11 @@
     Every finished span observes its duration (µs) into the registry
     histogram [span.<name>]; with a trace sink installed it also emits
     one JSON object per line: [{"name":…, "id":…, "parent":…,
-    "depth":…, "start_us":…, "dur_us":…, "attrs":{…}}]. *)
+    "depth":…, "start_us":…, "dur_us":…, "attrs":{…}}].
+
+    Domain-safe: ids are atomic, the active-span stack is domain-local
+    (spans nest within a domain; a span opened on a worker domain has
+    no cross-domain parent), and sink emission is serialised. *)
 
 val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span.  Spans nest: a span opened while

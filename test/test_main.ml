@@ -21,4 +21,6 @@ let () =
       "erasure", Test_erasure.suite;
       "sim", Test_sim.suite;
       "telemetry", Test_telemetry.suite;
+      "encode", Test_encode.suite;
+      "parallel", Test_parallel.suite;
     ]
