@@ -1,9 +1,16 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test test-slow bench bench-check metrics-check repro clean
+.PHONY: build test test-slow lint bench bench-check metrics-check repro clean
 
 build:
 	dune build
+
+# Static analysis: sc_lint over lib/, bin/ and test/ with the waiver
+# baseline in lint/waivers.sexp.  Fails on any unwaived finding or on
+# a waiver that no longer matches anything (--stale-waivers), so the
+# baseline can only shrink.
+lint:
+	dune build @lint
 
 test:
 	dune runtest
@@ -25,6 +32,7 @@ bench:
 # and the cost-invariant check.
 bench-check:
 	dune build
+	$(MAKE) lint
 	$(MAKE) test-slow
 	dune exec bench/quick.exe
 	$(MAKE) metrics-check

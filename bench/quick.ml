@@ -123,7 +123,8 @@ module Task = Sc_compute.Task
 
 let bench_domains =
   match Sys.getenv_opt "SECCLOUD_BENCH_DOMAINS" with
-  | Some s -> (try max 2 (int_of_string s) with _ -> 4)
+  | Some s -> (
+    match int_of_string_opt s with Some n -> max 2 n | None -> 4)
   | None -> 4
 
 let with_domains d f =

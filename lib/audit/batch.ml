@@ -1,4 +1,3 @@
-module Setup = Sc_ibc.Setup
 module Ibs = Sc_ibc.Ibs
 module Agg = Sc_ibc.Agg
 module Merkle = Sc_merkle.Tree

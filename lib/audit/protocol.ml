@@ -1,4 +1,3 @@
-module Setup = Sc_ibc.Setup
 module Ibs = Sc_ibc.Ibs
 module Warrant = Sc_ibc.Warrant
 module Merkle = Sc_merkle.Tree

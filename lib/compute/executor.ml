@@ -26,7 +26,7 @@ type response = {
 type execution = {
   service_arr : Task.request array;
   reads : Server.read_result option array;
-  committed : int array; (* values the tree was built over *)
+
   answers : int array; (* values returned at audit time *)
   tree : Merkle.t;
   root_signature : Ibs.t;
@@ -147,7 +147,7 @@ let run pub ~cs_key ~server ~behaviour ~drbg ~owner ~file requests =
       ~bytes_source:(Sc_hash.Drbg.bytes_source drbg)
       ("root:" ^ Merkle.root tree)
   in
-  { service_arr; reads; committed; answers; tree; root_signature; cs_id = cs_key.Setup.id }
+  { service_arr; reads; answers; tree; root_signature; cs_id = cs_key.Setup.id }
 
 let results e = Array.copy e.answers
 let root e = Merkle.root e.tree

@@ -2,7 +2,6 @@ module Params = Sc_pairing.Params
 module Tate = Sc_pairing.Tate
 module Hash_g1 = Sc_pairing.Hash_g1
 module Curve = Sc_ec.Curve
-module Sha256 = Sc_hash.Sha256
 module Hmac = Sc_hash.Hmac
 
 type ciphertext = { u : Curve.point; body : string; tag : string }
@@ -30,7 +29,8 @@ let xor_string a b =
       Char.chr (Char.code a.[i] lxor Char.code b.[i]))
 
 let mac prm k ~u_bytes ~body =
-  Hmac.mac_concat ~key:(derive prm k "mac") [ u_bytes; body ]
+  Hmac.mac_concat ~key:(derive prm k "mac")
+    (Sc_hash.Encode.frame [ "ibe-mac"; u_bytes; body ])
 
 let encrypt (pub : Setup.public) ~to_identity ~bytes_source msg =
   let prm = pub.Setup.prm in

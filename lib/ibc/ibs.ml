@@ -3,6 +3,7 @@ open Sc_ec
 module Params = Sc_pairing.Params
 module Tate = Sc_pairing.Tate
 module Hash_g1 = Sc_pairing.Hash_g1
+module Encode = Sc_hash.Encode
 module Telemetry = Sc_telemetry.Telemetry
 
 let c_sign = Telemetry.counter "ibs.sign"
@@ -14,7 +15,8 @@ type t = { u : Curve.point; v : Curve.point }
 
 let h2 (pub : Setup.public) ~u ~msg =
   let prm = pub.prm in
-  Hash_g1.hash_to_scalar prm ("h2:" ^ Curve.to_bytes prm.curve u ^ ":" ^ msg)
+  Hash_g1.hash_to_scalar prm
+    (Encode.canonical [ "ibs-h2"; Curve.to_bytes prm.curve u; msg ])
 
 let sign (pub : Setup.public) (key : Setup.identity_key) ~bytes_source msg =
   Telemetry.incr c_sign;
@@ -87,12 +89,12 @@ let verify_batch (pub : Setup.public) entries =
       Curve.on_curve prm.curve u && Curve.on_curve prm.curve v)
     entries
   &&
+  (* Flat canonical encoding: each entry contributes exactly three
+     parts, so the triple grouping is unambiguous. *)
   let transcript =
-    String.concat "|"
-      (List.map
-         (fun (signer, msg, s) ->
-           Printf.sprintf "%d:%s|%d:%s|%s" (String.length signer) signer
-             (String.length msg) msg (to_bytes pub s))
+    Encode.canonical
+      (List.concat_map
+         (fun (signer, msg, s) -> [ signer; msg; to_bytes pub s ])
          entries)
   in
   let v_sum, w_sum, _ =
@@ -100,7 +102,7 @@ let verify_batch (pub : Setup.public) entries =
       (fun (v_acc, w_acc, i) (signer, msg, { u; v }) ->
         let c =
           Hash_g1.hash_to_scalar prm
-            (Printf.sprintf "ibs-batch:%d:%s" i transcript)
+            (Encode.canonical [ "ibs-batch"; string_of_int i; transcript ])
         in
         let q_id = Setup.q_of_id pub signer in
         let w = verification_point pub ~q_id ~msg ~u in

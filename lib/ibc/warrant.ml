@@ -8,9 +8,20 @@ type t = {
 
 type signed = { warrant : t; signature : Ibs.t }
 
+(* Canonical framing: delegator / delegatee / scope are free-form
+   strings, so the old "warrant|%s|%s|...|%s" format was forgeable by
+   delimiter injection (a delegatee named "b|0|0|s" shifting every
+   later field). *)
 let encode w =
-  Printf.sprintf "warrant|%s|%s|%.6f|%.6f|%s" w.delegator w.delegatee
-    w.issued_at w.expires_at w.scope
+  Sc_hash.Encode.canonical
+    [
+      "warrant";
+      w.delegator;
+      w.delegatee;
+      Printf.sprintf "%.6f" w.issued_at;
+      Printf.sprintf "%.6f" w.expires_at;
+      w.scope;
+    ]
 
 let issue pub (key : Setup.identity_key) ~bytes_source ~delegatee ~now ~lifetime
     ~scope =

@@ -1,5 +1,3 @@
-module Server = Sc_storage.Server
-module Executor = Sc_compute.Executor
 module Task = Sc_compute.Task
 module Optimal = Sc_audit.Optimal
 module Protocol = Sc_audit.Protocol
@@ -187,8 +185,14 @@ let run config =
             ~drbg:
               (Sc_hash.Drbg.create
                  ~seed:
-                   (Printf.sprintf "sim-transport:%s:e%d:%s:%s" config.seed
-                      epoch_idx user_id cloud_id))
+                   (Sc_hash.Encode.canonical
+                      [
+                        "sim-transport";
+                        config.seed;
+                        string_of_int epoch_idx;
+                        user_id;
+                        cloud_id;
+                      ]))
             ~charge:(fun ~bytes -> Network.record_transfer net ~bytes)
             ~now:(Event_queue.now queue) ~peer:cloud_id
             ~public:(Seccloud.System.public system)

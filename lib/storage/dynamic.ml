@@ -28,7 +28,7 @@ type entry = {
 }
 
 type server = {
-  s_file : string;
+
   mutable s_entries : entry array;
   mutable s_tree : Merkle.t;
 }
@@ -41,7 +41,7 @@ type client = {
   c_file : string;
   mutable c_root : string;
   mutable c_count : int;
-  mutable c_bytes : int -> string;
+  c_bytes : int -> string;
 }
 
 type read_proof = {
@@ -96,7 +96,7 @@ let init pub key ~bytes_source ~cs_id ~da_id ~file payloads =
          (fun index payload -> sign_entry client ~index ~version:0 ~payload)
          payloads)
   in
-  let server = { s_file = file; s_entries = entries; s_tree = Merkle.build [ "x" ] } in
+  let server = { s_entries = entries; s_tree = Merkle.build [ "x" ] } in
   rebuild_tree server;
   client.c_root <- Merkle.root server.s_tree;
   client.c_count <- Array.length entries;

@@ -5,13 +5,16 @@
    producing negative durations). *)
 
 let epoch = Unix.gettimeofday ()
-let last = ref 0L
+let last = Atomic.make 0L
 
 let now_ns () =
-  let ns = Int64.of_float ((Unix.gettimeofday () -. epoch) *. 1e9) in
-  let ns = if Int64.compare ns !last < 0 then !last else ns in
-  last := ns;
-  ns
+  let rec clamp ns =
+    let prev = Atomic.get last in
+    if Int64.compare ns prev < 0 then prev
+    else if Atomic.compare_and_set last prev ns then ns
+    else clamp ns
+  in
+  clamp (Int64.of_float ((Unix.gettimeofday () -. epoch) *. 1e9))
 
 let elapsed_ns since = Int64.sub (now_ns ()) since
 let ns_to_us ns = Int64.to_float ns /. 1e3

@@ -19,16 +19,12 @@ type active = {
 let next_id = Atomic.make 0
 let stack_key = Domain.DLS.new_key (fun () -> ref ([] : active list))
 let stack () = Domain.DLS.get stack_key
-let sink : (string -> unit) option ref = ref None
-let sink_lock = Mutex.create ()
-
-let set_sink f =
-  Mutex.lock sink_lock;
-  sink := f;
-  Mutex.unlock sink_lock
+let sink : (string -> unit) option Atomic.t = Atomic.make None
+let sink_lock = Mutex.create () (* serializes emission, not the pointer *)
+let set_sink f = Atomic.set sink f
 
 let emit_line sp dur_ns =
-  match !sink with
+  match Atomic.get sink with
   | None -> ()
   | Some _ ->
     let fields =
@@ -49,7 +45,7 @@ let emit_line sp dur_ns =
     in
     let line = Json.obj fields in
     Mutex.lock sink_lock;
-    (match !sink with None -> () | Some emit -> emit line);
+    (match Atomic.get sink with None -> () | Some emit -> emit line);
     Mutex.unlock sink_lock
 
 let with_span ?(attrs = []) ~name f =
@@ -76,7 +72,7 @@ let with_span ?(attrs = []) ~name f =
 let current_depth () = List.length !(stack ())
 
 let with_trace_channel oc f =
-  let prev = !sink in
+  let prev = Atomic.get sink in
   set_sink (Some (fun line -> output_string oc (line ^ "\n")));
   Fun.protect ~finally:(fun () -> set_sink prev) f
 

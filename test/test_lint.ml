@@ -1,0 +1,235 @@
+(* sc_lint rule fixtures: one positive and one negative case per rule,
+   waiver round-trips, and a self-lint pass over the real tree.  The
+   fixtures are fed as in-memory strings through Engine.lint_source, so
+   the tests pin the rules' behaviour without touching the file
+   system. *)
+
+module Finding = Sc_lint_core.Finding
+module Waiver = Sc_lint_core.Waiver
+module Engine = Sc_lint_core.Engine
+
+open Util
+
+(* Lint [content] as if it lived at lib/<name> (lib/ enables the
+   determinism and no-mli rules). *)
+let lint_lib ?(has_mli = true) ?(name = "fixture.ml") content =
+  Engine.lint_source { Engine.rel = "lib/" ^ name; content; has_mli }
+
+let lint_bin ?(name = "fixture.ml") content =
+  Engine.lint_source { Engine.rel = "bin/" ^ name; content; has_mli = true }
+
+let rules fs = List.map (fun f -> f.Finding.rule) fs
+let has_rule r fs = List.mem r (rules fs)
+
+let no_findings name content =
+  case name (fun () ->
+      match lint_lib content with
+      | [] -> ()
+      | fs ->
+        Alcotest.failf "expected no findings, got:\n%s"
+          (String.concat "\n" (List.map Finding.to_string fs)))
+
+let domain_safety =
+  [
+    case "toplevel ref is flagged" (fun () ->
+        let fs = lint_lib "let counter = ref 0\n" in
+        check Alcotest.bool "flagged" true (has_rule "domain-safety" fs);
+        let f = List.hd fs in
+        check Alcotest.string "key is the binding name" "counter" f.Finding.key;
+        check Alcotest.int "line" 1 f.Finding.line);
+    case "toplevel Hashtbl and mutable record literal are flagged" (fun () ->
+        let fs =
+          lint_lib
+            "type t = { mutable n : int }\n\
+             let cache = Hashtbl.create 16\n\
+             let state = { n = 0 }\n"
+        in
+        check Alcotest.int "two findings" 2 (List.length fs);
+        check Alcotest.bool "all domain-safety" true
+          (List.for_all (fun f -> f.Finding.rule = "domain-safety") fs));
+    no_findings "ref inside a function body is fine"
+      "let f () =\n  let acc = ref 0 in\n  incr acc;\n  !acc\n";
+    no_findings "Atomic/Mutex toplevel state is the sanctioned idiom"
+      "let hits = Atomic.make 0\nlet lock = Mutex.create ()\n";
+  ]
+
+let signing_encode =
+  [
+    case "sprintf flowing into a hash sink is flagged" (fun () ->
+        let fs =
+          lint_lib
+            "let h a b = Sha256.digest (Printf.sprintf \"%s|%s\" a b)\n"
+        in
+        check Alcotest.bool "flagged" true (has_rule "signing-encode" fs));
+    case "two-fragment concat into Ibs.sign is flagged" (fun () ->
+        let fs =
+          lint_lib "let s pub key a b = Ibs.sign pub key (a ^ \"|\" ^ b)\n"
+        in
+        check Alcotest.bool "flagged" true (has_rule "signing-encode" fs);
+        let f = List.find (fun f -> f.Finding.rule = "signing-encode") fs in
+        check Alcotest.string "key names fn and sink" "s:Ibs.sign"
+          f.Finding.key);
+    case "local producer of a tainted concat is traced to the sink" (fun () ->
+        let fs =
+          lint_lib
+            "let encode a b = a ^ \":\" ^ b\n\
+             let h a b = Sha256.digest (encode a b)\n"
+        in
+        check Alcotest.bool "flagged" true (has_rule "signing-encode" fs));
+    no_findings "single dynamic fragment with a literal prefix is injective"
+      "let h id = Sha256.digest (\"id:\" ^ id)\n";
+    no_findings "Encode.canonical framing is the sanctioned path"
+      "let h a b = Sha256.digest (Sc_hash.Encode.canonical [ \"tag\"; a; b ])\n";
+    no_findings "numeric-only sprintf cannot collide"
+      "let h n = Sha256.digest (Printf.sprintf \"blk-%d\" n)\n";
+  ]
+
+let determinism =
+  [
+    case "Stdlib.Random in lib/ is flagged" (fun () ->
+        let fs = lint_lib "let roll () = Random.int 6\n" in
+        check Alcotest.bool "flagged" true (has_rule "determinism" fs));
+    case "Unix.gettimeofday in lib/ is flagged with a scoped key" (fun () ->
+        let fs = lint_lib "let now () = Unix.gettimeofday ()\n" in
+        let f = List.find (fun f -> f.Finding.rule = "determinism") fs in
+        check Alcotest.string "key" "now:Unix.gettimeofday" f.Finding.key);
+    case "the same source in bin/ is allowed" (fun () ->
+        let fs = lint_bin "let now () = Unix.gettimeofday ()\n" in
+        check Alcotest.bool "not flagged" false (has_rule "determinism" fs));
+    no_findings "DRBG-driven randomness is the sanctioned source"
+      "let roll drbg = Sc_hash.Drbg.uniform_int drbg 6\n";
+  ]
+
+let secret_flow =
+  [
+    case "printing a secret-named ident is flagged" (fun () ->
+        let fs =
+          lint_lib "let debug sk = Printf.printf \"sk=%s\\n\" sk\n"
+        in
+        check Alcotest.bool "flagged" true (has_rule "secret-flow" fs));
+    case "underscore-token match: msk reaching failwith" (fun () ->
+        let fs = lint_lib "let f master_sk = failwith master_sk\n" in
+        check Alcotest.bool "flagged" true (has_rule "secret-flow" fs));
+    no_findings "printing non-secret state is fine"
+      "let debug count = Printf.printf \"count=%d\\n\" count\n";
+    no_findings "risk (contains 'sk' mid-word) is not a secret token"
+      "let debug risk = Printf.printf \"risk=%s\\n\" risk\n";
+  ]
+
+let exception_discipline =
+  [
+    case "silent catch-all is flagged" (fun () ->
+        let fs =
+          lint_lib "let parse s = try int_of_string s with _ -> 0\n"
+        in
+        check Alcotest.bool "flagged" true (has_rule "exception-swallow" fs));
+    no_findings "catch-all that re-raises is fine"
+      "let f g = try g () with e -> cleanup (); raise e\n";
+    no_findings "catch-all whose body uses the exception is fine"
+      "let f g = try g () with e -> log (Printexc.to_string e); None\n";
+    no_findings "typed handler is fine"
+      "let parse s = try int_of_string s with Failure _ -> 0\n";
+    no_findings "option-returning stdlib idiom is the sanctioned fix"
+      "let parse s = Option.value ~default:0 (int_of_string_opt s)\n";
+  ]
+
+let infra =
+  [
+    case "lib module without .mli yields an informational finding" (fun () ->
+        let fs = lint_lib ~has_mli:false "let x = 1\n" in
+        let f = List.find (fun f -> f.Finding.rule = "no-mli") fs in
+        check Alcotest.bool "info severity" true
+          (f.Finding.severity = Finding.Info));
+    case "bin module without .mli is not reported" (fun () ->
+        let fs =
+          Engine.lint_source
+            { Engine.rel = "bin/fixture.ml"; content = "let x = 1\n";
+              has_mli = false }
+        in
+        check Alcotest.(list string) "no findings" [] (rules fs));
+    case "syntax error becomes a parse-error finding, not an exception"
+      (fun () ->
+        let fs = lint_lib "let = in +++\n" in
+        check Alcotest.bool "parse-error" true (has_rule "parse-error" fs));
+  ]
+
+let waiver_text =
+  "((rule domain-safety)\n\
+  \ (file lib/fixture.ml)\n\
+  \ (key counter)\n\
+  \ (justification \"fixture: guarded by the test harness\"))\n"
+
+let waivers =
+  [
+    case "waiver round-trip suppresses the matching finding" (fun () ->
+        let fs = lint_lib "let counter = ref 0\nlet other = ref 1\n" in
+        check Alcotest.int "two raw findings" 2 (List.length fs);
+        match Waiver.parse waiver_text with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok ws ->
+          let unwaived, waived, stale = Waiver.apply ws fs in
+          check Alcotest.int "one suppressed" 1 (List.length waived);
+          check Alcotest.int "one left" 1 (List.length unwaived);
+          check Alcotest.string "the right one left" "other"
+            (List.hd unwaived).Finding.key;
+          check Alcotest.int "no stale" 0 (List.length stale));
+    case "waiver that matches nothing is reported stale" (fun () ->
+        match Waiver.parse waiver_text with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok ws ->
+          let _, _, stale = Waiver.apply ws [] in
+          check Alcotest.int "stale" 1 (List.length stale));
+    case "empty justification is rejected at parse time" (fun () ->
+        let bad =
+          "((rule determinism) (file lib/x.ml) (key k) (justification \"\"))"
+        in
+        match Waiver.parse bad with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+    case "malformed entry is rejected" (fun () ->
+        match Waiver.parse "((rule only))" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected parse error");
+  ]
+
+(* The real tree must lint clean against the committed baseline, and
+   the baseline must contain no dead entries — the same gate
+   `dune build @lint` applies, run in-process. *)
+let self_lint =
+  [
+    case "repo lints clean with zero stale waivers" (fun () ->
+        (* dune runs the test with cwd inside _build; the declared
+           source_tree deps materialize lib/, bin/, test/ and the
+           baseline next to it.  Walk up to wherever they landed. *)
+        let root =
+          List.find_opt
+            (fun r ->
+              Sys.file_exists (Filename.concat r "lint/waivers.sexp"))
+            [ "."; ".."; "../.."; "../../.." ]
+        in
+        match root with
+        | None -> Alcotest.fail "lint/waivers.sexp not found from test cwd"
+        | Some root ->
+          let waiver_file = Filename.concat root "lint/waivers.sexp" in
+          let sources = Engine.collect_files ~root [ "lib"; "bin"; "test" ] in
+          check Alcotest.bool "collected a plausible tree" true
+            (List.length sources > 50);
+          let findings = Engine.lint_sources sources in
+          match Waiver.parse (In_channel.with_open_text waiver_file In_channel.input_all) with
+          | Error e -> Alcotest.failf "waiver parse: %s" e
+          | Ok ws ->
+            let unwaived, _, stale = Waiver.apply ws findings in
+            let errors =
+              List.filter
+                (fun f -> f.Finding.severity = Finding.Error)
+                unwaived
+            in
+            check Alcotest.(list string) "no unwaived errors" []
+              (List.map Finding.to_string errors);
+            check Alcotest.(list string) "no stale waivers" []
+              (List.map Waiver.to_string stale));
+  ]
+
+let suite =
+  domain_safety @ signing_encode @ determinism @ secret_flow
+  @ exception_discipline @ infra @ waivers @ self_lint

@@ -23,4 +23,5 @@ let () =
       "telemetry", Test_telemetry.suite;
       "encode", Test_encode.suite;
       "parallel", Test_parallel.suite;
+      "lint", Test_lint.suite;
     ]

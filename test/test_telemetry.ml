@@ -160,8 +160,13 @@ let spans =
           and d_out = float_field outer "dur_us"
           and d_in = float_field inner "dur_us" in
           check Alcotest.bool "child starts after parent" true (s_in >= s_out);
+          (* The JSON trace prints timestamps with 6 significant
+             digits, so late in a long test run the quantization step
+             exceeds any fixed epsilon; allow the relative error. *)
           check Alcotest.bool "child within parent" true
-            (s_in +. d_in <= s_out +. d_out +. 1e-6)
+            (s_in +. d_in
+            <= (s_out +. d_out +. 1e-6)
+               +. (1e-5 *. Float.max (s_out +. d_out) 1.0))
         | ls -> Alcotest.failf "expected 2 trace lines, got %d" (List.length ls));
     case "with_span observes span.<name> histogram" (fun () ->
         Telemetry.reset ();

@@ -1,0 +1,112 @@
+(* Parsing, file discovery, and the informational no-mli rule.  The
+   AST rules live in [Rules]; this module turns paths/strings into
+   findings so both the CLI and the in-process fixture tests share one
+   entry point. *)
+
+type source = {
+  rel : string; (* root-relative, '/'-separated *)
+  content : string;
+  has_mli : bool;
+}
+
+let in_lib rel = String.length rel >= 4 && String.sub rel 0 4 = "lib/"
+
+let parse_error ~rel ~line msg =
+  {
+    Finding.rule = "parse-error";
+    file = rel;
+    line;
+    severity = Finding.Error;
+    key = rel;
+    msg;
+  }
+
+let lint_source (src : source) : Finding.t list =
+  let structure =
+    let lexbuf = Lexing.from_string src.content in
+    Location.init lexbuf src.rel;
+    match Parse.implementation lexbuf with
+    | str -> Ok str
+    | exception Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      Error
+        (parse_error ~rel:src.rel ~line:loc.loc_start.Lexing.pos_lnum
+           "syntax error")
+    | exception exn ->
+      Error (parse_error ~rel:src.rel ~line:1 (Printexc.to_string exn))
+  in
+  let ast_findings =
+    match structure with
+    | Ok str -> Rules.lint ~path:src.rel ~in_lib:(in_lib src.rel) str
+    | Error f -> [ f ]
+  in
+  let no_mli =
+    if in_lib src.rel && not src.has_mli then
+      [
+        {
+          Finding.rule = "no-mli";
+          file = src.rel;
+          line = 1;
+          severity = Finding.Info;
+          key = src.rel;
+          msg =
+            "library module has no .mli; its public surface is implicit \
+             (informational)";
+        };
+      ]
+    else []
+  in
+  ast_findings @ no_mli
+
+let lint_sources srcs =
+  List.sort Finding.compare (List.concat_map lint_source srcs)
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem walk                                                    *)
+
+let is_ml name =
+  Filename.check_suffix name ".ml" && not (Filename.check_suffix name ".pp.ml")
+
+let rec walk dir =
+  match Sys.readdir dir with
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir name in
+        if Sys.is_directory path then
+          if name = "_build" || name.[0] = '.' then acc else acc @ walk path
+        else if is_ml name then acc @ [ path ]
+        else acc)
+      [] entries
+  | exception Sys_error _ -> []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let collect_files ~root dirs : source list =
+  List.concat_map
+    (fun dir ->
+      let abs = Filename.concat root dir in
+      if not (Sys.file_exists abs) then []
+      else
+        List.map
+          (fun path ->
+            (* root-relative with '/' separators for stable waiver keys *)
+            let rel =
+              let r = Filename.concat root "" in
+              let n = String.length r in
+              if String.length path > n && String.sub path 0 n = r then
+                String.sub path n (String.length path - n)
+              else path
+            in
+            {
+              rel;
+              content = read_file path;
+              has_mli = Sys.file_exists (path ^ "i");
+            })
+          (walk abs))
+    dirs

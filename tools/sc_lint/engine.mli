@@ -1,0 +1,15 @@
+(** Lint driver: parse sources, run the AST rules plus the
+    informational no-mli check, discover files on disk. *)
+
+type source = {
+  rel : string;  (** root-relative path recorded in findings *)
+  content : string;
+  has_mli : bool;
+}
+
+val lint_source : source -> Finding.t list
+val lint_sources : source list -> Finding.t list
+
+val collect_files : root:string -> string list -> source list
+(** [collect_files ~root dirs] reads every [.ml] under [root/dir] for
+    each [dir], skipping [_build] and dot-directories. *)

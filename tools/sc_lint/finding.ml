@@ -1,0 +1,30 @@
+(* A single lint finding.  [key] is the stable, line-number-free handle
+   a waiver matches on (rule-specific: the offending toplevel binding
+   name, "<enclosing>:<sink>", ...), so the baseline survives
+   unrelated edits to the same file. *)
+
+type severity = Error | Info
+
+type t = {
+  rule : string;
+  file : string; (* root-relative, '/'-separated *)
+  line : int;
+  severity : severity;
+  key : string;
+  msg : string;
+}
+
+let severity_to_string = function Error -> "error" | Info -> "info"
+
+let to_string f =
+  Printf.sprintf "%s:%d %s %s %s [key %s]" f.file f.line f.rule
+    (severity_to_string f.severity)
+    f.msg f.key
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> String.compare a.rule b.rule
+    | c -> c)
+  | c -> c

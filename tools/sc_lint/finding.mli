@@ -1,0 +1,21 @@
+(** Lint findings: what a rule reports and a waiver can suppress. *)
+
+type severity = Error | Info
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  severity : severity;
+  key : string;
+  msg : string;
+}
+
+val severity_to_string : severity -> string
+
+val to_string : t -> string
+(** [file:line rule severity message [key k]] — the format the CLI
+    prints and CI greps. *)
+
+val compare : t -> t -> int
+(** Order by file, then line, then rule. *)

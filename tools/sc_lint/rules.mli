@@ -1,0 +1,8 @@
+(** The five AST lint rules (domain-safety, signing-encode,
+    determinism, secret-flow, exception-swallow) over a parsed
+    implementation. *)
+
+val lint : path:string -> in_lib:bool -> Parsetree.structure -> Finding.t list
+(** [lint ~path ~in_lib str] returns the findings for one file.
+    [path] is the root-relative path recorded in findings (and matched
+    by waivers); [in_lib] enables the lib/-only determinism rule. *)

@@ -1,0 +1,88 @@
+(* CLI: sc_lint [--root DIR] [--waivers FILE] [--stale-waivers]
+                [--no-waivers] [DIR ...]
+
+   Lints every .ml under the given directories (default: lib bin test,
+   relative to --root), applies the waiver baseline, and prints the
+   remaining findings as "file:line rule severity message".  Exit
+   status: 0 clean, 1 unwaived error findings (or, with
+   --stale-waivers, stale baseline entries), 2 usage / waiver-file
+   errors. *)
+
+open Sc_lint_core
+
+let usage () =
+  prerr_endline
+    "usage: sc_lint [--root DIR] [--waivers FILE] [--stale-waivers] \
+     [--no-waivers] [DIR ...]";
+  exit 2
+
+let () =
+  let root = ref "." in
+  let waivers_file = ref None in
+  let use_waivers = ref true in
+  let check_stale = ref false in
+  let dirs = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: v :: rest ->
+      root := v;
+      parse rest
+    | "--waivers" :: v :: rest ->
+      waivers_file := Some v;
+      parse rest
+    | "--stale-waivers" :: rest ->
+      check_stale := true;
+      parse rest
+    | "--no-waivers" :: rest ->
+      use_waivers := false;
+      parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | d :: rest when String.length d > 0 && d.[0] <> '-' ->
+      dirs := d :: !dirs;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let dirs =
+    match List.rev !dirs with [] -> [ "lib"; "bin"; "test" ] | ds -> ds
+  in
+  let waiver_path =
+    match !waivers_file with
+    | Some p -> p
+    | None -> Filename.concat !root "lint/waivers.sexp"
+  in
+  let waivers =
+    if (not !use_waivers) || not (Sys.file_exists waiver_path) then []
+    else
+      let content =
+        let ic = open_in_bin waiver_path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Waiver.parse content with
+      | Ok ws -> ws
+      | Error msg ->
+        Printf.eprintf "sc_lint: %s: %s\n" waiver_path msg;
+        exit 2
+  in
+  let findings = Engine.lint_sources (Engine.collect_files ~root:!root dirs) in
+  let unwaived, waived, stale = Waiver.apply waivers findings in
+  List.iter (fun f -> print_endline (Finding.to_string f)) unwaived;
+  if !check_stale then
+    List.iter
+      (fun w ->
+        Printf.printf "%s: stale waiver %s\n" waiver_path (Waiver.to_string w))
+      stale;
+  let errors =
+    List.filter (fun f -> f.Finding.severity = Finding.Error) unwaived
+  in
+  Printf.eprintf
+    "sc_lint: %d file(s), %d finding(s): %d error(s) unwaived, %d waived, %d \
+     informational%s\n"
+    (List.length (Engine.collect_files ~root:!root dirs))
+    (List.length findings) (List.length errors) (List.length waived)
+    (List.length (List.filter (fun f -> f.Finding.severity = Finding.Info) unwaived))
+    (if !check_stale then Printf.sprintf ", %d stale waiver(s)" (List.length stale)
+     else "");
+  if errors <> [] || (!check_stale && stale <> []) then exit 1

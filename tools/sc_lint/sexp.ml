@@ -1,0 +1,91 @@
+(* Minimal s-expression reader for the waiver file: atoms, quoted
+   strings with backslash escapes, lists, and semicolon line comments.
+   No sexplib in the build environment, and the waiver grammar is
+   small enough that a ~70-line reader is cheaper than a dependency. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let parse_all (s : string) : (t list, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      while !pos < n && s.[!pos] <> '\n' do
+        advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let read_quoted () =
+    advance ();
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then raise (Parse_error "unterminated string");
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then raise (Parse_error "dangling escape");
+        (match s.[!pos] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | c -> Buffer.add_char buf c);
+        advance ();
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let read_atom () =
+    let start = !pos in
+    let stop = ref false in
+    while (not !stop) && !pos < n do
+      match s.[!pos] with
+      | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' -> stop := true
+      | _ -> advance ()
+    done;
+    String.sub s start (!pos - start)
+  in
+  let rec read_sexp () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> advance ()
+        | None -> raise (Parse_error "unclosed list")
+        | Some _ ->
+          items := read_sexp () :: !items;
+          loop ()
+      in
+      loop ();
+      List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected ')'")
+    | Some '"' -> Atom (read_quoted ())
+    | Some _ -> Atom (read_atom ())
+  in
+  try
+    let out = ref [] in
+    skip_ws ();
+    while !pos < n do
+      out := read_sexp () :: !out;
+      skip_ws ()
+    done;
+    Ok (List.rev !out)
+  with Parse_error m -> Error m

@@ -1,0 +1,9 @@
+(** Minimal s-expression reader (atoms, quoted strings, lists, [;]
+    comments) for [lint/waivers.sexp]. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+val parse_all : string -> (t list, string) result
+(** Parse every toplevel s-expression in the input. *)

@@ -1,0 +1,70 @@
+(* Waiver baseline: each entry suppresses findings with the same
+   (rule, file, key) and must carry a non-empty human-readable
+   justification, so the reviewer of a waiver diff always sees *why*
+   a deliberate violation is acceptable.  Stale entries (matching no
+   current finding) are detected so the baseline can only shrink. *)
+
+type t = {
+  rule : string;
+  file : string;
+  key : string;
+  justification : string;
+}
+
+let field name fields =
+  let rec find = function
+    | [] -> None
+    | Sexp.List [ Sexp.Atom n; Sexp.Atom v ] :: _ when n = name -> Some v
+    | _ :: rest -> find rest
+  in
+  find fields
+
+let of_sexp = function
+  | Sexp.List fields -> (
+    let get n = field n fields in
+    match (get "rule", get "file", get "key", get "justification") with
+    | Some rule, Some file, Some key, Some justification ->
+      if String.trim justification = "" then
+        Error
+          (Printf.sprintf "waiver (%s %s %s): empty justification" rule file
+             key)
+      else Ok { rule; file; key; justification }
+    | _ ->
+      Error
+        "waiver entry must have (rule ...) (file ...) (key ...) \
+         (justification \"...\") fields")
+  | Sexp.Atom a -> Error (Printf.sprintf "expected a waiver list, got atom %S" a)
+
+let parse content =
+  match Sexp.parse_all content with
+  | Error m -> Error (Printf.sprintf "waiver file: %s" m)
+  | Ok sexps ->
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+        match of_sexp s with
+        | Ok w -> build (w :: acc) rest
+        | Error m -> Error m)
+    in
+    build [] sexps
+
+let matches w (f : Finding.t) =
+  w.rule = f.rule && w.file = f.file && w.key = f.key
+
+(* Partition findings into (unwaived, waived) and report entries that
+   matched nothing. *)
+let apply waivers findings =
+  let unwaived, waived =
+    List.partition
+      (fun f -> not (List.exists (fun w -> matches w f) waivers))
+      findings
+  in
+  let stale =
+    List.filter
+      (fun w -> not (List.exists (fun f -> matches w f) findings))
+      waivers
+  in
+  (unwaived, waived, stale)
+
+let to_string w =
+  Printf.sprintf "(rule %s) (file %s) (key %s)" w.rule w.file w.key

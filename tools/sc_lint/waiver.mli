@@ -1,0 +1,22 @@
+(** Waiver baseline: (rule, file, key) triples with mandatory
+    justifications, loaded from [lint/waivers.sexp]. *)
+
+type t = {
+  rule : string;
+  file : string;
+  key : string;
+  justification : string;
+}
+
+val parse : string -> (t list, string) result
+(** Parse a waiver file.  Fails on malformed entries and on empty
+    justifications. *)
+
+val matches : t -> Finding.t -> bool
+
+val apply : t list -> Finding.t list -> Finding.t list * Finding.t list * t list
+(** [apply waivers findings] is [(unwaived, waived, stale)]: findings
+    not covered by any waiver, findings that were suppressed, and
+    waivers that matched no finding at all. *)
+
+val to_string : t -> string
