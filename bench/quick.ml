@@ -22,11 +22,56 @@ let time_ns ?(iters = 100) f =
   let t1 = Unix.gettimeofday () in
   (t1 -. t0) *. 1e9 /. float_of_int iters
 
+(* The committed BENCH_pairing.json, read before this run overwrites
+   it, so the report below can show each row's delta against the
+   baseline (`make bench-check` surfaces regressions that way). *)
+let baseline =
+  match open_in "BENCH_pairing.json" with
+  | exception Sys_error _ -> []
+  | ic ->
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    List.filter_map
+      (fun line ->
+        match String.index_opt line '"' with
+        | None -> None
+        | Some i -> (
+          match String.index_from_opt line (i + 1) '"' with
+          | None -> None
+          | Some j ->
+            let key = String.sub line (i + 1) (j - i - 1) in
+            let buf = Buffer.create 16 in
+            String.iter
+              (fun c ->
+                match c with
+                | '0' .. '9' | '.' | '-' -> Buffer.add_char buf c
+                | _ -> ())
+              (String.sub line (j + 1) (String.length line - j - 1));
+            Option.map
+              (fun v -> key, v)
+              (float_of_string_opt (Buffer.contents buf))))
+      (String.split_on_char '\n' content)
+
+let vs_baseline name ns =
+  match List.assoc_opt name baseline with
+  | Some old when old > 0. && ns > 0. ->
+    Printf.sprintf "  (baseline %10.1f us, x%.2f)" (old /. 1e3) (old /. ns)
+  | _ -> ""
+
 let () =
   let prm = Lazy.force Params.toy in
   let prm_small = Lazy.force Params.small in
   let g = prm.Params.g and gs = prm_small.Params.g in
   let scalar_small = Params.random_scalar prm_small ~bytes_source:bs in
+  let var_point =
+    Curve.mul prm_small.Params.curve
+      (Params.random_scalar prm_small ~bytes_source:bs)
+      gs
+  in
+  let pc_small = Tate.precomp_for prm_small gs in
   let pairs8 =
     List.init 8 (fun _ ->
         let a = Params.random_scalar prm_small ~bytes_source:bs in
@@ -39,11 +84,17 @@ let () =
       "pairing(toy)", time_ns ~iters:200 (fun () -> Tate.pairing prm g g);
       ( "pairing(small)",
         time_ns ~iters:100 (fun () -> Tate.pairing prm_small gs gs) );
+      ( "pairing_precomp(small)",
+        time_ns ~iters:100 (fun () ->
+            Tate.pairing_precomp prm_small var_point pc_small) );
       ( "multi_pairing(k=8)",
         time_ns ~iters:30 (fun () -> Tate.multi_pairing prm_small pairs8) );
       ( "point_mul",
         time_ns ~iters:200 (fun () ->
             Curve.mul prm_small.Params.curve scalar_small gs) );
+      ( "point_mul_wnaf",
+        time_ns ~iters:200 (fun () ->
+            Curve.mul prm_small.Params.curve scalar_small var_point) );
     ]
   in
   (* The designated-verifier auditing hot path: pairings per Ibs.verify
@@ -100,10 +151,19 @@ let () =
   output_string oc json;
   close_out oc;
   List.iter
-    (fun (name, ns) -> Printf.printf "%-28s %12.1f us/op\n" name (ns /. 1e3))
+    (fun (name, ns) ->
+      Printf.printf "%-28s %12.1f us/op%s\n" name (ns /. 1e3)
+        (vs_baseline name ns))
     results;
   List.iter
-    (fun (name, v) -> Printf.printf "%-28s %12d\n" name v)
+    (fun (name, v) ->
+      let old =
+        match List.assoc_opt name baseline with
+        | Some o when int_of_float o <> v ->
+          Printf.sprintf "  (baseline %d)" (int_of_float o)
+        | _ -> ""
+      in
+      Printf.printf "%-28s %12d%s\n" name v old)
     counters;
   print_endline "wrote BENCH_pairing.json"
 

@@ -145,6 +145,14 @@ let stats_workload preset seed ~drop ~tamper =
   let p0 = Tate.pairings_performed () in
   assert (Sc_ibc.Ibs.verify pub ~signer:"probe" ~msg:"probe-msg" s);
   let ibs_pairings = Tate.pairings_performed () - p0 in
+  (* That verification warmed every fixed-base table it needs (Miller
+     lines for P and P_pub, comb for the signer's Q_ID), so verifying
+     again must be all cache hits: 0 precomputation misses. *)
+  let m0 = Telemetry.counter_value "pairing.precomp.miss" in
+  assert (Sc_ibc.Ibs.verify pub ~signer:"probe" ~msg:"probe-msg" s);
+  let ibs_precomp_misses =
+    Telemetry.counter_value "pairing.precomp.miss" - m0
+  in
   (* Storage audit: batched designated verification. *)
   let report =
     Seccloud.Agency.audit_storage_batched da cloud ~owner:"alice" ~file:"ledger"
@@ -276,12 +284,12 @@ let stats_workload preset seed ~drop ~tamper =
       wire_report.Seccloud.Agency.intact wire_verdict.Sc_audit.Protocol.valid
       (Telemetry.counter_value "transport.retry")
   in
-  ibs_pairings, List.length jobs, batch_pairings, wire_summary
+  ibs_pairings, ibs_precomp_misses, List.length jobs, batch_pairings, wire_summary
 
 let stats verbose preset seed drop tamper trace check =
   setup_logging verbose;
   let run () = stats_workload preset seed ~drop ~tamper in
-  let ibs_pairings, batch_jobs, batch_pairings, wire_summary =
+  let ibs_pairings, ibs_precomp_misses, batch_jobs, batch_pairings, wire_summary =
     match trace with
     | Some path -> Telemetry.with_trace_file path run
     | None -> run ()
@@ -305,6 +313,8 @@ let stats verbose preset seed drop tamper trace check =
         (if ok then "ok" else "FAIL")
     in
     invariant "Ibs.verify pairings per signature" ibs_pairings 1;
+    invariant "Ibs.verify precomputation misses after warm-up"
+      ibs_precomp_misses 0;
     invariant
       (Printf.sprintf "batched audit pairings for k=%d jobs (<= k+1)"
          batch_jobs)

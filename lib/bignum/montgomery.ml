@@ -8,6 +8,7 @@ type ctx = {
   k : int;
   m' : int; (* -m[0]^-1 mod B *)
   r_mod_m : Nat.t; (* B^k mod m, the domain image of 1 *)
+  lazy_ok : bool; (* 16m <= B^k: redundant operands stay inside REDC's bound *)
 }
 
 type mont = int array (* exactly k limbs, value < m *)
@@ -32,7 +33,11 @@ let create m =
   let k = Array.length m_limbs in
   let m' = (base - inv_limb m_limbs.(0)) land mask in
   let r_mod_m = Nat.rem (Nat.shift_left Nat.one (k * limb_bits)) m in
-  { m; m_limbs; k; m'; r_mod_m }
+  (* Lazy (redundant) operands are only sound when 16m <= B^k: then a
+     sum of two once-lazy values stays < 4m, and a product of two such
+     operands is < 16m^2 <= m*B^k, REDC's input bound. *)
+  let lazy_ok = Nat.bit_length m + 4 <= k * limb_bits in
+  { m; m_limbs; k; m'; r_mod_m; lazy_ok }
 
 let modulus ctx = ctx.m
 
@@ -202,6 +207,46 @@ let sub ctx (a : mont) (b : mont) =
 let neg ctx (a : mont) = if is_zero a then Array.copy a else sub ctx (zero ctx) a
 let double ctx (a : mont) = add ctx a a
 
+(* Redundant-representation add: skips the conditional subtraction, so
+   the result may reach the sum of the operand bounds.  Sound only
+   under [lazy_ok] (16m <= B^k), where a chain of two lazy adds over
+   canonical inputs stays < 4m, and a product of two such operands is
+   < 16m^2 <= m·B^k — still inside REDC's input bound.  Lazy values
+   must only ever flow into [mul]/[sqr] (whose REDC output is again
+   canonical), never into [equal]/[is_zero]/[of_mont]. *)
+let add_lazy ctx (a : mont) (b : mont) =
+  if not ctx.lazy_ok then add ctx a b
+  else begin
+    let k = ctx.k in
+    let out = Array.make k 0 in
+    let carry = ref 0 in
+    for i = 0 to k - 1 do
+      let x = a.(i) + b.(i) + !carry in
+      out.(i) <- x land mask;
+      carry := x lsr limb_bits
+    done;
+    (* a + b < 8m <= B^k/2: no carry out of the top limb. *)
+    out
+  end
+
+(* Lazy subtract as a + 2m - b, valid for operands < 2m; the result is
+   < 4m and non-negative without any branch on the borrow. *)
+let sub_lazy ctx (a : mont) (b : mont) =
+  if not ctx.lazy_ok then sub ctx a b
+  else begin
+    let k = ctx.k and m = ctx.m_limbs in
+    let out = Array.make k 0 in
+    let carry = ref 0 in
+    for i = 0 to k - 1 do
+      (* Offset by B so the limb stays non-negative; the -1 in the
+         carry update cancels the offset. *)
+      let x = a.(i) + (2 * m.(i)) - b.(i) + !carry + base in
+      out.(i) <- x land mask;
+      carry := (x lsr limb_bits) - 1
+    done;
+    out
+  end
+
 (* Inversion leaves the domain once: (aR)·B^-k = a, invert with the
    extended Euclid, then re-enter.  mul (aR) ((a^-1)R) = R = one. *)
 let inv ctx (a : mont) =
@@ -213,6 +258,28 @@ let inv ctx (a : mont) =
     if Signed.sign x < 0 && not (Nat.is_zero r) then Nat.sub ctx.m r else r
   in
   to_mont ctx xm
+
+(* Montgomery's trick: n inversions for one [inv] and 3(n-1) [mul]s.
+   Zero elements are rejected up front so the shared prefix product
+   cannot silently absorb them. *)
+let batch_inv ctx (xs : mont array) =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    Array.iter (fun x -> if is_zero x then raise Not_found) xs;
+    let prefix = Array.make n xs.(0) in
+    for i = 1 to n - 1 do
+      prefix.(i) <- mul ctx prefix.(i - 1) xs.(i)
+    done;
+    let acc = ref (inv ctx prefix.(n - 1)) in
+    let out = Array.make n (zero ctx) in
+    for i = n - 1 downto 1 do
+      out.(i) <- mul ctx !acc prefix.(i - 1);
+      acc := mul ctx !acc xs.(i)
+    done;
+    out.(0) <- !acc;
+    out
+  end
 
 let pow ctx b e =
   let b = to_mont ctx b in

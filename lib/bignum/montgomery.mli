@@ -44,6 +44,18 @@ val double : ctx -> mont -> mont
 (** Modular add/sub/neg/double directly on domain representatives —
     the Montgomery map is additive, so no conversion is involved. *)
 
+val add_lazy : ctx -> mont -> mont -> mont
+val sub_lazy : ctx -> mont -> mont -> mont
+(** Redundant-representation add/sub: when the modulus leaves enough
+    limb headroom (16m ≤ B^k) these skip the canonicalising
+    conditional subtraction, returning a value that may be as large as
+    4m.  Such lazy values must only ever flow into {!mul}/{!sqr}
+    (whose REDC output is canonical again) — never into
+    {!equal}/{!is_zero}/{!of_mont} — and at most two lazy operations
+    may be chained before a multiply.  [sub_lazy] additionally
+    requires both operands < 2m.  Without headroom they silently fall
+    back to the strict {!add}/{!sub}. *)
+
 val mul : ctx -> mont -> mont -> mont
 val sqr : ctx -> mont -> mont
 
@@ -51,6 +63,11 @@ val inv : ctx -> mont -> mont
 (** [mul ctx a (inv ctx a) = one ctx].
     @raise Not_found when the argument is not invertible (including
     zero). *)
+
+val batch_inv : ctx -> mont array -> mont array
+(** Montgomery's trick: inverts every element with a single {!inv}
+    and 3(n-1) multiplications.
+    @raise Not_found if any element is zero or not invertible. *)
 
 val pow : ctx -> Nat.t -> Nat.t -> Nat.t
 (** [pow ctx b e] = b^e mod m, entirely inside the Montgomery domain.

@@ -1,5 +1,6 @@
-let small_primes =
-  let limit = 10_000 in
+(* Sieve of Eratosthenes: all scratch state is local to the call, so
+   the only thing that escapes to the toplevel is the frozen array. *)
+let sieve limit =
   let composite = Array.make (limit + 1) false in
   let primes = ref [] in
   for i = 2 to limit do
@@ -13,6 +14,8 @@ let small_primes =
     end
   done;
   Array.of_list (List.rev !primes)
+
+let small_primes = sieve 10_000
 
 let divisible_by_small_prime n =
   let top = Array.length small_primes - 1 in

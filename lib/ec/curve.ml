@@ -1,7 +1,18 @@
 open Sc_bignum
 open Sc_field
+module M = Fp.Mont
 
-type t = { fld : Fp.ctx; a : Fp.el; b : Fp.el; coord_bytes : int }
+let c_mul_wnaf = Sc_telemetry.Telemetry.counter "curve.mul.wnaf"
+
+type t = {
+  fld : Fp.ctx;
+  a : Fp.el;
+  b : Fp.el;
+  coord_bytes : int;
+  has_mont : bool; (* odd characteristic: the Montgomery fast paths apply *)
+  ma : M.e Lazy.t; (* curve coefficient a in the Montgomery domain *)
+}
+
 type point = Infinity | Affine of Fp.el * Fp.el
 
 let create fld ~a ~b =
@@ -13,7 +24,8 @@ let create fld ~a ~b =
   in
   if Fp.is_zero disc then invalid_arg "Curve.create: singular curve";
   let coord_bytes = (Nat.bit_length (Fp.characteristic fld) + 7) / 8 in
-  { fld; a; b; coord_bytes }
+  let has_mont = not (Nat.is_even (Fp.characteristic fld)) in
+  { fld; a; b; coord_bytes; has_mont; ma = lazy (M.enter fld a) }
 
 let field c = c.fld
 let coeff_a c = c.a
@@ -151,7 +163,7 @@ let jadd_mixed c j x2 y2 =
     end
   end
 
-let mul c k p =
+let mul_naive c k p =
   match p with
   | Infinity -> Infinity
   | Affine (px, py) ->
@@ -169,19 +181,195 @@ let mul c k p =
       point_of_jac c (go (jac_of_point p) (nbits - 2))
     end
 
+(* ------------------------------------------------------------------ *)
+(* Montgomery-resident Jacobian machinery: the same dbl-2007-bl /
+   madd-2007-bl formulas as above, but over Fp.Mont so every field
+   multiplication is a single fused REDC.  All operations here stay
+   strict (canonical outputs) because the group law compares
+   coordinates for the doubling/inverse cases. *)
+
+type mjac = { mx : M.e; my : M.e; mz : M.e }
+
+let mjac_infinity f = { mx = M.one f; my = M.one f; mz = M.zero f }
+
+let mjdouble f ma j =
+  if M.is_zero j.mz || M.is_zero j.my then mjac_infinity f
+  else begin
+    let xx = M.sqr f j.mx in
+    let yy = M.sqr f j.my in
+    let yyyy = M.sqr f yy in
+    let zz = M.sqr f j.mz in
+    let s =
+      M.double f (M.sub f (M.sub f (M.sqr f (M.add f j.mx yy)) xx) yyyy)
+    in
+    let m = M.add f (M.add f (M.double f xx) xx) (M.mul f ma (M.sqr f zz)) in
+    let t = M.sub f (M.sqr f m) (M.double f s) in
+    let y3 =
+      M.sub f
+        (M.mul f m (M.sub f s t))
+        (M.double f (M.double f (M.double f yyyy)))
+    in
+    let z3 = M.sub f (M.sub f (M.sqr f (M.add f j.my j.mz)) yy) zz in
+    { mx = t; my = y3; mz = z3 }
+  end
+
+let mjadd_mixed f ma j x2 y2 =
+  if M.is_zero j.mz then { mx = x2; my = y2; mz = M.one f }
+  else begin
+    let z1z1 = M.sqr f j.mz in
+    let u2 = M.mul f x2 z1z1 in
+    let s2 = M.mul f y2 (M.mul f j.mz z1z1) in
+    if M.equal u2 j.mx then begin
+      if M.equal s2 j.my then mjdouble f ma j else mjac_infinity f
+    end
+    else begin
+      let h = M.sub f u2 j.mx in
+      let hh = M.sqr f h in
+      let i = M.double f (M.double f hh) in
+      let jj = M.mul f h i in
+      let r = M.double f (M.sub f s2 j.my) in
+      let v = M.mul f j.mx i in
+      let x3 = M.sub f (M.sub f (M.sqr f r) jj) (M.double f v) in
+      let y3 =
+        M.sub f (M.mul f r (M.sub f v x3)) (M.double f (M.mul f j.my jj))
+      in
+      let z3 = M.sub f (M.sub f (M.sqr f (M.add f j.mz h)) z1z1) hh in
+      { mx = x3; my = y3; mz = z3 }
+    end
+  end
+
+let point_of_mjac c j =
+  let f = c.fld in
+  if M.is_zero j.mz then Infinity
+  else begin
+    let zi = M.inv f j.mz in
+    let zi2 = M.sqr f zi in
+    Affine
+      ( M.leave f (M.mul f j.mx zi2),
+        M.leave f (M.mul f j.my (M.mul f zi2 zi)) )
+  end
+
+(* Normalize a batch of Jacobian points to Montgomery affine with one
+   shared inversion; infinity entries come back as None. *)
+let mjac_batch_affine f jacs =
+  let n = Array.length jacs in
+  let live = ref [] in
+  for i = n - 1 downto 0 do
+    if not (M.is_zero jacs.(i).mz) then live := i :: !live
+  done;
+  let live = Array.of_list !live in
+  let zs = Array.map (fun i -> jacs.(i).mz) live in
+  let zinvs = if Array.length zs = 0 then [||] else M.batch_inv f zs in
+  let out = Array.make n None in
+  Array.iteri
+    (fun li i ->
+      let zi = zinvs.(li) in
+      let zi2 = M.sqr f zi in
+      out.(i) <-
+        Some
+          ( M.mul f jacs.(i).mx zi2,
+            M.mul f jacs.(i).my (M.mul f zi2 zi) ))
+    live;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Windowed NAF (w = 5): digits in {0, ±1, ±3, …, ±15}, averaging one
+   addition per w+1 doublings versus one per 2 for double-and-add. *)
+
+let wnaf_window = 5
+
+(* Most-significant digit first. *)
+let wnaf_digits k =
+  let tw = 1 lsl wnaf_window and hw = 1 lsl (wnaf_window - 1) in
+  let digits = ref [] in
+  let n = ref k in
+  while not (Nat.is_zero !n) do
+    let d =
+      if Nat.test_bit !n 0 then begin
+        let r = Nat.rem_int !n tw in
+        if r >= hw then begin
+          n := Nat.add !n (Nat.of_int (tw - r));
+          r - tw
+        end
+        else begin
+          n := Nat.sub !n (Nat.of_int r);
+          r
+        end
+      end
+      else 0
+    in
+    digits := d :: !digits;
+    n := Nat.shift_right !n 1
+  done;
+  !digits
+
+(* Odd multiples P, 3P, …, 15P as Montgomery-affine points (one
+   inversion to normalize 2P, one batched inversion for the table).
+   None for the whole table when 2P = O (2-torsion base): the wNAF
+   recoding identity dP = P then needs no table at all, so the caller
+   falls back to the plain ladder. *)
+let wnaf_table f ma px py =
+  let p2 = mjdouble f ma { mx = px; my = py; mz = M.one f } in
+  if M.is_zero p2.mz then None
+  else begin
+    let zi = M.inv f p2.mz in
+    let zi2 = M.sqr f zi in
+    let tx = M.mul f p2.mx zi2 in
+    let ty = M.mul f p2.my (M.mul f zi2 zi) in
+    let njac = Array.make 8 { mx = px; my = py; mz = M.one f } in
+    for i = 1 to 7 do
+      (* (2i+1)·P = (2i-1)·P + 2P; mid-chain infinity (small-order
+         bases) is handled by the batch normalizer returning None. *)
+      njac.(i) <- mjadd_mixed f ma njac.(i - 1) tx ty
+    done;
+    Some (mjac_batch_affine f njac)
+  end
+
+let mul_wnaf c k px py =
+  let f = c.fld in
+  let ma = Lazy.force c.ma in
+  match wnaf_table f ma (M.enter f px) (M.enter f py) with
+  | None -> mul_naive c k (Affine (px, py))
+  | Some table ->
+    Sc_telemetry.Telemetry.incr c_mul_wnaf;
+    let acc = ref (mjac_infinity f) in
+    List.iter
+      (fun d ->
+        acc := mjdouble f ma !acc;
+        if d <> 0 then begin
+          match table.((abs d - 1) / 2) with
+          | None -> ()
+          | Some (tx, ty) ->
+            let ty = if d < 0 then M.neg f ty else ty in
+            acc := mjadd_mixed f ma !acc tx ty
+        end)
+      (wnaf_digits k);
+    point_of_mjac c !acc
+
+let mul c k p =
+  match p with
+  | Infinity -> Infinity
+  | Affine (px, py) ->
+    if Nat.is_zero k then Infinity
+    else if c.has_mont then mul_wnaf c k px py
+    else mul_naive c k p
+
 let mul_int c k p =
   if k < 0 then neg c (mul c (Nat.of_int (-k)) p) else mul c (Nat.of_int k) p
 
+(* ------------------------------------------------------------------ *)
 (* Fixed-base comb: table.(w).(d) = d·16^w·P in affine form, so a
-   b-bit scalar costs ⌈b/4⌉ mixed additions and zero doublings. *)
-type precomp = { tables : point array array; bits : int }
+   b-bit scalar costs ⌈b/4⌉ mixed additions and zero doublings.  With
+   an odd characteristic the tables are Montgomery-resident and built
+   with one batched inversion per window (instead of one inversion per
+   affine addition); the Barrett variant remains as the fallback. *)
+type precomp =
+  | Comb_mont of { mbits : int; mtables : (M.e * M.e) option array array }
+  | Comb_affine of { bits : int; tables : point array array }
 
-let precompute c ~bits p =
-  if bits <= 0 then invalid_arg "Curve.precompute: bits <= 0";
+let precompute_affine c ~bits p =
   let nwindows = (bits + 3) / 4 in
-  let tables =
-    Array.init nwindows (fun _ -> Array.make 16 Infinity)
-  in
+  let tables = Array.init nwindows (fun _ -> Array.make 16 Infinity) in
   let base = ref p in
   for w = 0 to nwindows - 1 do
     for d = 1 to 15 do
@@ -190,28 +378,86 @@ let precompute c ~bits p =
     (* advance base to 16^(w+1)·P *)
     base := double c (double c (double c (double c !base)))
   done;
-  { tables; bits }
+  Comb_affine { tables; bits }
+
+let precompute_mont c ~bits p =
+  let f = c.fld in
+  let ma = Lazy.force c.ma in
+  let nwindows = (bits + 3) / 4 in
+  let mtables = Array.init nwindows (fun _ -> Array.make 16 None) in
+  (match p with
+   | Infinity -> ()
+   | Affine (x, y) ->
+     let bx = ref (M.enter f x) and by = ref (M.enter f y) in
+     let exhausted = ref false in
+     let w = ref 0 in
+     while (not !exhausted) && !w < nwindows do
+       (* Window entries d·B in Jacobian via mixed additions of the
+          affine base, plus the advanced base 16·B as a 17th entry, all
+          normalized by one shared batch inversion. *)
+       let jentries = Array.make 17 (mjac_infinity f) in
+       for d = 1 to 15 do
+         jentries.(d) <- mjadd_mixed f ma jentries.(d - 1) !bx !by
+       done;
+       let nb = ref jentries.(1) in
+       for _ = 1 to 4 do
+         nb := mjdouble f ma !nb
+       done;
+       jentries.(16) <- !nb;
+       let affs = mjac_batch_affine f jentries in
+       for d = 1 to 15 do
+         mtables.(!w).(d) <- affs.(d)
+       done;
+       (match affs.(16) with
+        | Some (nx, ny) ->
+          bx := nx;
+          by := ny
+        | None -> exhausted := true (* 16·B = O: all later windows are O *));
+       incr w
+     done);
+  Comb_mont { mbits = bits; mtables }
+
+let precompute c ~bits p =
+  if bits <= 0 then invalid_arg "Curve.precompute: bits <= 0";
+  if c.has_mont then precompute_mont c ~bits p else precompute_affine c ~bits p
+
+let comb_digit k w =
+  let bit i = if Nat.test_bit k i then 1 else 0 in
+  (bit ((4 * w) + 3) lsl 3)
+  lor (bit ((4 * w) + 2) lsl 2)
+  lor (bit ((4 * w) + 1) lsl 1)
+  lor bit (4 * w)
 
 let mul_precomp c pc k =
-  if Nat.bit_length k > pc.bits then
-    invalid_arg "Curve.mul_precomp: scalar exceeds precomputed range";
-  let bit i = if Nat.test_bit k i then 1 else 0 in
-  let nwindows = Array.length pc.tables in
-  let acc = ref jac_infinity in
-  for w = 0 to nwindows - 1 do
-    let d =
-      (bit ((4 * w) + 3) lsl 3)
-      lor (bit ((4 * w) + 2) lsl 2)
-      lor (bit ((4 * w) + 1) lsl 1)
-      lor bit (4 * w)
-    in
-    if d <> 0 then begin
-      match pc.tables.(w).(d) with
-      | Infinity -> ()
-      | Affine (x, y) -> acc := jadd_mixed c !acc x y
-    end
-  done;
-  point_of_jac c !acc
+  match pc with
+  | Comb_mont { mbits; mtables } ->
+    if Nat.bit_length k > mbits then
+      invalid_arg "Curve.mul_precomp: scalar exceeds precomputed range";
+    let f = c.fld in
+    let ma = Lazy.force c.ma in
+    let acc = ref (mjac_infinity f) in
+    for w = 0 to Array.length mtables - 1 do
+      let d = comb_digit k w in
+      if d <> 0 then begin
+        match mtables.(w).(d) with
+        | None -> ()
+        | Some (x, y) -> acc := mjadd_mixed f ma !acc x y
+      end
+    done;
+    point_of_mjac c !acc
+  | Comb_affine { bits; tables } ->
+    if Nat.bit_length k > bits then
+      invalid_arg "Curve.mul_precomp: scalar exceeds precomputed range";
+    let acc = ref jac_infinity in
+    for w = 0 to Array.length tables - 1 do
+      let d = comb_digit k w in
+      if d <> 0 then begin
+        match tables.(w).(d) with
+        | Infinity -> ()
+        | Affine (x, y) -> acc := jadd_mixed c !acc x y
+      end
+    done;
+    point_of_jac c !acc
 
 let lift_x c x =
   match Fp.sqrt c.fld (rhs c x) with

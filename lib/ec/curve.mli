@@ -31,7 +31,14 @@ val double : t -> point -> point
 val sub : t -> point -> point -> point
 
 val mul : t -> Nat.t -> point -> point
-(** Scalar multiplication (4-bit fixed-window, left-to-right). *)
+(** Scalar multiplication.  Over an odd characteristic this runs a
+    width-5 windowed-NAF ladder in the Montgomery domain (counter
+    [curve.mul.wnaf]); otherwise it falls back to {!mul_naive}. *)
+
+val mul_naive : t -> Nat.t -> point -> point
+(** Plain left-to-right double-and-add in Barrett-domain Jacobian
+    coordinates — the reference implementation {!mul} is validated
+    against. *)
 
 val mul_int : t -> int -> point -> point
 

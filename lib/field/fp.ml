@@ -45,6 +45,27 @@ let inv ctx a =
 
 let div ctx a b = mul ctx a (inv ctx b)
 
+(* Montgomery's trick over canonical residues: one [inv] plus 3(n-1)
+   multiplications instead of n inversions. *)
+let batch_inv ctx (xs : el array) =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    Array.iter (fun x -> if is_zero x then raise Division_by_zero) xs;
+    let prefix = Array.make n xs.(0) in
+    for i = 1 to n - 1 do
+      prefix.(i) <- mul ctx prefix.(i - 1) xs.(i)
+    done;
+    let acc = ref (inv ctx prefix.(n - 1)) in
+    let out = Array.make n zero in
+    for i = n - 1 downto 1 do
+      out.(i) <- mul ctx !acc prefix.(i - 1);
+      acc := mul ctx !acc xs.(i)
+    done;
+    out.(0) <- !acc;
+    out
+  end
+
 (* Exponentiation runs in the Montgomery domain when the
    characteristic is odd (always, for prime fields in practice) —
    roughly twice as fast as the Barrett ladder. *)
@@ -92,6 +113,8 @@ module Mont = struct
 
   let add ctx = Montgomery.add (mont_exn ctx)
   let sub ctx = Montgomery.sub (mont_exn ctx)
+  let add_lazy ctx = Montgomery.add_lazy (mont_exn ctx)
+  let sub_lazy ctx = Montgomery.sub_lazy (mont_exn ctx)
   let neg ctx = Montgomery.neg (mont_exn ctx)
   let double ctx = Montgomery.double (mont_exn ctx)
   let mul ctx = Montgomery.mul (mont_exn ctx)
@@ -101,6 +124,11 @@ module Mont = struct
 
   let inv ctx a =
     match Montgomery.inv (mont_exn ctx) a with
+    | exception Not_found -> raise Division_by_zero
+    | r -> r
+
+  let batch_inv ctx xs =
+    match Montgomery.batch_inv (mont_exn ctx) xs with
     | exception Not_found -> raise Division_by_zero
     | r -> r
 end

@@ -40,6 +40,12 @@ val inv : ctx -> el -> el
 (** @raise Division_by_zero on zero. *)
 
 val div : ctx -> el -> el -> el
+
+val batch_inv : ctx -> el array -> el array
+(** Montgomery's trick: inverts every element with a single {!inv}
+    and 3(n-1) multiplications.
+    @raise Division_by_zero if any element is zero. *)
+
 val pow : ctx -> el -> Nat.t -> el
 
 val legendre : ctx -> el -> int
@@ -78,6 +84,14 @@ module Mont : sig
 
   val add : ctx -> e -> e -> e
   val sub : ctx -> e -> e -> e
+
+  val add_lazy : ctx -> e -> e -> e
+  val sub_lazy : ctx -> e -> e -> e
+  (** Redundant-representation add/sub (see
+      {!Sc_bignum.Montgomery.add_lazy}): results may be non-canonical
+      and must only feed {!mul}/{!sqr}, never
+      {!equal}/{!is_zero}/{!leave}. *)
+
   val neg : ctx -> e -> e
   val double : ctx -> e -> e
   val mul : ctx -> e -> e -> e
@@ -85,6 +99,9 @@ module Mont : sig
 
   val inv : ctx -> e -> e
   (** @raise Division_by_zero on zero. *)
+
+  val batch_inv : ctx -> e array -> e array
+  (** @raise Division_by_zero if any element is zero. *)
 
   val is_zero : e -> bool
   val equal : e -> e -> bool

@@ -75,13 +75,17 @@ module Mont = struct
   let sub ctx a b = { re = M.sub ctx a.re b.re; im = M.sub ctx a.im b.im }
   let neg ctx a = { re = M.neg ctx a.re; im = M.neg ctx a.im }
 
+  (* Karatsuba over i² = -1: three base multiplications instead of
+     four.  The two operand sums are lazy (< 2m each), which REDC
+     absorbs; every multiplication output is canonical again, so the
+     trailing subtractions stay strict. *)
   let mul ctx a b =
     let ac = M.mul ctx a.re b.re and bd = M.mul ctx a.im b.im in
-    let ad = M.mul ctx a.re b.im and bc = M.mul ctx a.im b.re in
-    { re = M.sub ctx ac bd; im = M.add ctx ad bc }
+    let t = M.mul ctx (M.add_lazy ctx a.re a.im) (M.add_lazy ctx b.re b.im) in
+    { re = M.sub ctx ac bd; im = M.sub ctx (M.sub ctx t ac) bd }
 
   let sqr ctx a =
-    let re = M.mul ctx (M.sub ctx a.re a.im) (M.add ctx a.re a.im) in
+    let re = M.mul ctx (M.sub ctx a.re a.im) (M.add_lazy ctx a.re a.im) in
     let im = M.double ctx (M.mul ctx a.re a.im) in
     { re; im }
 

@@ -5,7 +5,7 @@ type entry = { signer : string; msg : string; dvs : Dvs.t }
 
 let verify_batch (pub : Setup.public) ~verifier_key entries =
   let prm = pub.prm in
-  let well_formed e = Curve.on_curve prm.curve e.dvs.Dvs.u in
+  let well_formed e = Sc_pairing.Params.in_subgroup prm e.dvs.Dvs.u in
   List.for_all well_formed entries
   &&
   (* Q_ID lookups are memoized: a batch typically has few signers. *)
@@ -27,11 +27,13 @@ let verify_batch (pub : Setup.public) ~verifier_key entries =
       (Curve.infinity, Tate.gt_one) entries
   in
   (* The aggregate Σ lives in GT, so only the U_A side is a Miller
-     term; routing it through multi_pairing keeps the whole audit
-     layer on the shared-Miller entry point (and its one-per-equation
-     pairing count). *)
+     term; routing it through the precomputed multi-pairing keeps the
+     whole audit layer on the shared-Miller entry point (and its
+     one-per-equation pairing count), replaying the verifier key's
+     cached line tables. *)
   Tate.gt_equal
-    (Tate.multi_pairing prm [ u_agg, verifier_key.Setup.sk ])
+    (Tate.multi_pairing_precomp prm
+       [ u_agg, Tate.precomp_for prm verifier_key.Setup.sk ])
     sigma_agg
 
 let aggregate_size_bytes (pub : Setup.public) entries =

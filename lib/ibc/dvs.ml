@@ -4,10 +4,15 @@ module Tate = Sc_pairing.Tate
 
 type t = { u : Curve.point; sigma : Tate.gt }
 
+(* The designated verifier's key material is the fixed pairing
+   argument in every operation here, so all three entry points replay
+   its cached Miller tables (all points involved are subgroup members:
+   Q_B and sk by construction, V/W from verified signatures). *)
+
 let designate (pub : Setup.public) (raw : Ibs.t) ~verifier =
   let prm = pub.prm in
   let q_b = Setup.q_of_id pub verifier in
-  { u = raw.Ibs.u; sigma = Tate.pairing prm raw.Ibs.v q_b }
+  { u = raw.Ibs.u; sigma = Tate.pairing_precomp prm raw.Ibs.v (Tate.precomp_for prm q_b) }
 
 let verify (pub : Setup.public) ~verifier_key ~signer ~msg { u; sigma } =
   let prm = pub.prm in
@@ -15,12 +20,17 @@ let verify (pub : Setup.public) ~verifier_key ~signer ~msg { u; sigma } =
   &&
   let q_id = Setup.q_of_id pub signer in
   let w = Ibs.verification_point pub ~q_id ~msg ~u in
-  Tate.gt_equal sigma (Tate.pairing prm w verifier_key.Setup.sk)
+  Tate.gt_equal sigma
+    (Tate.pairing_precomp prm w (Tate.precomp_for prm verifier_key.Setup.sk))
 
 let simulate (pub : Setup.public) ~verifier_key ~signer ~msg ~bytes_source =
   let prm = pub.prm in
   let q_id = Setup.q_of_id pub signer in
   let r = Params.random_scalar prm ~bytes_source in
-  let u = Curve.mul prm.curve r q_id in
+  let u = Curve.mul_precomp prm.curve (Params.precomp_for prm q_id) r in
   let w = Ibs.verification_point pub ~q_id ~msg ~u in
-  { u; sigma = Tate.pairing prm w verifier_key.Setup.sk }
+  {
+    u;
+    sigma =
+      Tate.pairing_precomp prm w (Tate.precomp_for prm verifier_key.Setup.sk);
+  }

@@ -37,7 +37,13 @@ let encrypt (pub : Setup.public) ~to_identity ~bytes_source msg =
   let q_id = Hash_g1.hash_to_point prm ("id:" ^ to_identity) in
   let r = Params.random_scalar prm ~bytes_source in
   let u = Params.mul_g prm r in
-  let k = Tate.gt_pow prm (Tate.pairing prm q_id pub.Setup.p_pub) r in
+  (* ê(Q_ID, P_pub) = ê(P_pub, Q_ID) (both subgroup points), replayed
+     from the cached line tables of the fixed P_pub. *)
+  let k =
+    Tate.gt_pow prm
+      (Tate.pairing_precomp prm q_id (Tate.precomp_for prm pub.Setup.p_pub))
+      r
+  in
   let body = xor_string msg (keystream prm k (String.length msg)) in
   let u_bytes = Curve.to_bytes prm.Params.curve u in
   { u; body; tag = mac prm k ~u_bytes ~body }
@@ -46,7 +52,10 @@ let decrypt (pub : Setup.public) ~key { u; body; tag } =
   let prm = pub.Setup.prm in
   if not (Curve.on_curve prm.Params.curve u) then None
   else begin
-    let k = Tate.pairing prm key.Setup.sk u in
+    (* Replaying sk's tables at u computes exactly ê(sk, u) — the
+       fixed key is the trajectory either way, so no symmetry argument
+       is needed for the untrusted u. *)
+    let k = Tate.pairing_precomp prm u (Tate.precomp_for prm key.Setup.sk) in
     let u_bytes = Curve.to_bytes prm.Params.curve u in
     if not (String.equal tag (mac prm k ~u_bytes ~body)) then None
     else Some (xor_string body (keystream prm k (String.length body)))

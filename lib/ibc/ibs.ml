@@ -22,31 +22,44 @@ let sign (pub : Setup.public) (key : Setup.identity_key) ~bytes_source msg =
   Telemetry.incr c_sign;
   let prm = pub.prm in
   let r = Params.random_scalar prm ~bytes_source in
-  let u = Curve.mul prm.curve r key.q_id in
+  let u = Curve.mul_precomp prm.curve (Params.precomp_for prm key.q_id) r in
   let h = h2 pub ~u ~msg in
   let v = Curve.mul prm.curve (Nat.rem (Nat.add r h) prm.q) key.sk in
   { u; v }
 
-(* U + h·Q_ID, the G1 element both verification flavours pair against. *)
+(* U + h·Q_ID, the G1 element both verification flavours pair against.
+   Q_ID is a fixed base per identity, so h·Q_ID runs over the cached
+   comb tables. *)
 let verification_point (pub : Setup.public) ~q_id ~msg ~u =
   let prm = pub.prm in
   let h = h2 pub ~u ~msg in
-  Curve.add prm.curve u (Curve.mul prm.curve h q_id)
+  Curve.add prm.curve u
+    (Curve.mul_precomp prm.curve (Params.precomp_for prm q_id) h)
 
 (* ê(V, P) = ê(W, P_pub) is checked as ê(V, P)·ê(−W, P_pub) = 1: a
    single 2-term multi-pairing (one shared Miller chain, one final
-   exponentiation) instead of two full pairings. *)
+   exponentiation) instead of two full pairings, replayed from the
+   precomputed line tables of the fixed arguments P and P_pub.  The
+   precomputed form evaluates ê(P, V)·ê(P_pub, −W), equal by pairing
+   symmetry on the order-q subgroup — hence the subgroup check on the
+   untrusted signature points (U, V), which also rules out the
+   cofactor-component malleability the swapped evaluation would not
+   see. *)
 let verify (pub : Setup.public) ~signer ~msg { u; v } =
   Telemetry.incr c_verify;
   Telemetry.with_span ~name:"ibs.verify" (fun () ->
       let prm = pub.prm in
-      Curve.on_curve prm.curve u
-      && Curve.on_curve prm.curve v
+      Params.in_subgroup prm u
+      && Params.in_subgroup prm v
       &&
       let q_id = Setup.q_of_id pub signer in
       let w = verification_point pub ~q_id ~msg ~u in
       Tate.gt_is_one
-        (Tate.multi_pairing prm [ v, prm.g; Curve.neg prm.curve w, pub.p_pub ]))
+        (Tate.multi_pairing_precomp prm
+           [
+             v, Tate.precomp_for prm prm.g;
+             Curve.neg prm.curve w, Tate.precomp_for prm pub.p_pub;
+           ]))
 
 let to_bytes (pub : Setup.public) { u; v } =
   let c = pub.prm.curve in
@@ -86,7 +99,7 @@ let verify_batch (pub : Setup.public) entries =
    let prm = pub.prm in
    List.for_all
     (fun (_, _, { u; v }) ->
-      Curve.on_curve prm.curve u && Curve.on_curve prm.curve v)
+      Params.in_subgroup prm u && Params.in_subgroup prm v)
     entries
   &&
   (* Flat canonical encoding: each entry contributes exactly three
@@ -113,5 +126,8 @@ let verify_batch (pub : Setup.public) entries =
       entries
   in
    Tate.gt_is_one
-     (Tate.multi_pairing prm
-        [ v_sum, prm.g; Curve.neg prm.curve w_sum, pub.p_pub ]))
+     (Tate.multi_pairing_precomp prm
+        [
+          v_sum, Tate.precomp_for prm prm.g;
+          Curve.neg prm.curve w_sum, Tate.precomp_for prm pub.p_pub;
+        ]))

@@ -24,10 +24,16 @@ let extract sio id =
 let q_of_id pub id = Hash_g1.hash_to_point pub.prm ("id:" ^ id)
 
 (* ê(sk, P) = ê(Q_ID, P_pub), checked as a one-Miller-loop 2-term
-   multi-pairing ê(sk, P)·ê(−Q_ID, P_pub) = 1. *)
+   multi-pairing ê(sk, P)·ê(−Q_ID, P_pub) = 1, replayed from the
+   cached line tables of the fixed P / P_pub.  The replayed product
+   relies on pairing symmetry, so the untrusted sk is checked into the
+   subgroup first (Q_ID is in it by construction). *)
 let valid_key pub (key : identity_key) =
   let prm = pub.prm in
-  Curve.on_curve prm.curve key.sk
+  Params.in_subgroup prm key.sk
   && Tate.gt_is_one
-       (Tate.multi_pairing prm
-          [ key.sk, prm.g; Curve.neg prm.curve key.q_id, pub.p_pub ])
+       (Tate.multi_pairing_precomp prm
+          [
+            key.sk, Tate.precomp_for prm prm.g;
+            Curve.neg prm.curve key.q_id, Tate.precomp_for prm pub.p_pub;
+          ])

@@ -1,6 +1,21 @@
 open Sc_bignum
 open Sc_field
 open Sc_ec
+module Telemetry = Sc_telemetry.Telemetry
+
+let c_precomp_hit = Telemetry.counter "pairing.precomp.hit"
+let c_precomp_miss = Telemetry.counter "pairing.precomp.miss"
+
+module SMap = Map.Make (String)
+
+(* Per-parameter-set precomputation caches, keyed by point encoding.
+   Reads are lock-free (an immutable map behind an [Atomic]); misses
+   take the lock, re-check, compute, and publish — the same
+   double-check shape as {!force_precomp} below.  A plain [Hashtbl]
+   would not do: concurrent reads during a resize are undefined. *)
+type 'a cache = { map : 'a SMap.t Atomic.t; lock : Mutex.t }
+
+let cache_create () = { map = Atomic.make SMap.empty; lock = Mutex.create () }
 
 type t = {
   p : Nat.t;
@@ -10,6 +25,8 @@ type t = {
   curve : Curve.t;
   g : Curve.point;
   g_precomp : Curve.precomp Lazy.t;
+  comb_cache : Curve.precomp cache;
+  miller_cache : Miller.precomp cache;
 }
 
 let build ~p ~q ~cofactor ~g_of_curve =
@@ -25,7 +42,17 @@ let build ~p ~q ~cofactor ~g_of_curve =
   if not (Curve.is_infinity (Curve.mul curve q g))
   then invalid_arg "Params: generator order does not divide q";
   let g_precomp = lazy (Curve.precompute curve ~bits:(Nat.bit_length q) g) in
-  { p; q; cofactor; fp; curve; g; g_precomp }
+  {
+    p;
+    q;
+    cofactor;
+    fp;
+    curve;
+    g;
+    g_precomp;
+    comb_cache = cache_create ();
+    miller_cache = cache_create ();
+  }
 
 let find_generator curve cofactor ~bytes_source _fp =
   let rec go () =
@@ -99,16 +126,44 @@ let random_scalar t ~bytes_source =
 
 (* Lazy.force is not domain-safe (concurrent first forcings race);
    serialize only the initial computation — once the lazy is a value,
-   forcing it is a read and takes no lock. *)
+   forcing it is a read and takes no lock.  [locked] is the shared
+   critical-section helper every double-checked path below routes
+   through. *)
 let precomp_lock = Mutex.create ()
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let force_precomp t =
   if Lazy.is_val t.g_precomp then Lazy.force t.g_precomp
-  else begin
-    Mutex.lock precomp_lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock precomp_lock)
-      (fun () -> Lazy.force t.g_precomp)
-  end
+  else locked precomp_lock (fun () -> Lazy.force t.g_precomp)
 
 let mul_g t k = Curve.mul_precomp t.curve (force_precomp t) (Nat.rem k t.q)
+
+let cache_get cache key compute =
+  match SMap.find_opt key (Atomic.get cache.map) with
+  | Some v ->
+    Telemetry.incr c_precomp_hit;
+    v
+  | None ->
+    locked cache.lock (fun () ->
+        (* Re-check under the lock: another domain may have published
+           the entry between the lock-free read and the acquisition. *)
+        match SMap.find_opt key (Atomic.get cache.map) with
+        | Some v ->
+          Telemetry.incr c_precomp_hit;
+          v
+        | None ->
+          Telemetry.incr c_precomp_miss;
+          let v = compute () in
+          Atomic.set cache.map (SMap.add key v (Atomic.get cache.map));
+          v)
+
+let precomp_for t pt =
+  cache_get t.comb_cache (Curve.to_bytes t.curve pt) (fun () ->
+      Curve.precompute t.curve ~bits:(Nat.bit_length t.q) pt)
+
+let miller_precomp_for t pt =
+  cache_get t.miller_cache (Curve.to_bytes t.curve pt) (fun () ->
+      Miller.precompute ~fp:t.fp ~curve:t.curve ~order:t.q pt)

@@ -11,6 +11,10 @@ open Sc_bignum
 open Sc_field
 open Sc_ec
 
+type 'a cache
+(** Domain-safe point-keyed precomputation cache: lock-free hits over
+    an immutable map, double-check-locked misses. *)
+
 type t = private {
   p : Nat.t; (* field characteristic, ≡ 3 mod 4 *)
   q : Nat.t; (* prime order of G1 and GT *)
@@ -19,6 +23,8 @@ type t = private {
   curve : Curve.t; (* y² = x³ + x over F_p *)
   g : Curve.point; (* generator of G1 *)
   g_precomp : Curve.precomp Lazy.t; (* fixed-base tables for g *)
+  comb_cache : Curve.precomp cache; (* fixed-base comb tables by point *)
+  miller_cache : Miller.precomp cache; (* Miller line tables by point *)
 }
 
 val generate :
@@ -52,3 +58,17 @@ val random_scalar : t -> bytes_source:(int -> string) -> Nat.t
 val mul_g : t -> Nat.t -> Curve.point
 (** [k·G] via the fixed-base tables — several times faster than
     [Curve.mul] for the generator (the scalar is reduced mod q). *)
+
+val precomp_for : t -> Curve.point -> Curve.precomp
+(** Fixed-base comb tables for an arbitrary point (covering scalars
+    below q), cached per parameter set and keyed by the point's
+    encoding.  Hits are lock-free and counted on
+    [pairing.precomp.hit]; misses build under a lock and count on
+    [pairing.precomp.miss].  Entries are never invalidated — a point's
+    tables are immutable — so memory grows with the number of distinct
+    cached points. *)
+
+val miller_precomp_for : t -> Curve.point -> Miller.precomp
+(** Miller line tables (see {!Miller.precompute}) for a fixed pairing
+    argument, cached like {!precomp_for} and sharing the same
+    hit/miss counters. *)

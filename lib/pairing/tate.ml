@@ -22,14 +22,18 @@ let gt_is_one = Fp2.is_one
 let gt_equal = Fp2.equal
 let gt_mul (prm : Params.t) a b = Fp2.mul prm.fp a b
 
-(* Conjugation inverts only unitary elements (norm 1) — true of every
-   value that went through the final exponentiation, but not of
-   arbitrary F_p² values (e.g. decoded, possibly mauled wire bytes).
-   Guard with a norm check and fall back to a full inversion, so the
-   function is a total inverse either way. *)
+(* Membership in the unitary (norm-1) subgroup of F_p²* — where every
+   honest GT element lives after the final exponentiation. *)
+let gt_is_unitary (prm : Params.t) a = Fp.equal (Fp2.norm prm.fp a) Fp.one
+
+(* Conjugation inverts only unitary elements — true of every value
+   that went through the final exponentiation, but not of arbitrary
+   F_p² values (e.g. decoded, possibly mauled wire bytes).  Take the
+   cheap conjugation exactly when the subgroup fast path applies and
+   fall back to a full inversion, so the function is a total inverse
+   either way. *)
 let gt_inv (prm : Params.t) a =
-  let fp = prm.fp in
-  if Fp.equal (Fp2.norm fp a) Fp.one then Fp2.conj fp a else Fp2.inv fp a
+  if gt_is_unitary prm a then Fp2.conj prm.fp a else Fp2.inv prm.fp a
 
 let gt_pow (prm : Params.t) a e = Fp2.pow prm.fp a e
 
@@ -167,14 +171,19 @@ let dbl_step fp am st f =
     let xx = FpM.sqr fp x in
     let yy = FpM.sqr fp y in
     let zz = FpM.sqr fp z in
+    (* M = 3X² + aZ⁴ stays lazy (< 4m): it only ever feeds
+       multiplications, which REDC re-canonicalizes. *)
     let m =
-      FpM.add fp (FpM.add fp (FpM.double fp xx) xx)
+      FpM.add_lazy fp
+        (FpM.add_lazy fp (FpM.double fp xx) xx)
         (FpM.mul fp am (FpM.sqr fp zz))
     in
     (* Line first (it needs the old X, Y, Z). *)
     let two_yy = FpM.double fp yy in
     let re =
-      FpM.sub fp (FpM.mul fp m (FpM.add fp x (FpM.mul fp st.xq zz))) two_yy
+      FpM.sub fp
+        (FpM.mul fp m (FpM.add_lazy fp x (FpM.mul fp st.xq zz)))
+        two_yy
     in
     let z3 = FpM.double fp (FpM.mul fp y z) in
     let im = FpM.mul fp (FpM.mul fp z3 zz) st.yq in
@@ -215,7 +224,9 @@ let add_step fp am st f =
     else begin
       let vz = FpM.mul fp v z in
       let re =
-        FpM.sub fp (FpM.mul fp u (FpM.add fp st.xq st.px)) (FpM.mul fp vz st.py)
+        FpM.sub fp
+          (FpM.mul fp u (FpM.add_lazy fp st.xq st.px))
+          (FpM.mul fp vz st.py)
       in
       let im = FpM.mul fp vz st.yq in
       let f = F2M.mul fp f (F2M.make re im) in
@@ -305,6 +316,97 @@ let multi_pairing (prm : Params.t) pairs =
     let f = miller_shared prm states in
     if F2M.is_zero f then gt_one
     else F2M.leave prm.fp (final_expo_mont prm f)
+
+(* --- Fixed-base (precomputed) Miller loops ------------------------
+
+   A {!Miller.precomp} replays the line sequence of a fixed base point
+   A; evaluating it at a variable point B costs one F_p multiplication
+   and one lazy addition per line — no Jacobian arithmetic at all —
+   and computes ê(A, B).  By the symmetry of the modified Tate pairing
+   on G1 (both sides reduce to ê(G, G)^{ab}) this equals ê(B, A) for
+   subgroup points, which is how verification call sites use it: the
+   *fixed* argument (generator, system key) carries the precomp, the
+   variable argument is only evaluated.  For points outside the
+   order-q subgroup the two sides may differ — ê(A, ·) annihilates the
+   cofactor component — so callers that accept untrusted points must
+   subgroup-check them first (all IBC call sites do). *)
+
+type precomp = Miller.precomp
+
+let precompute (prm : Params.t) pt =
+  Miller.precompute ~fp:prm.fp ~curve:prm.curve ~order:prm.q pt
+
+let precomp_for = Params.miller_precomp_for
+
+(* Per-term replay state: the precomp plus the evaluation point in the
+   Montgomery domain. *)
+type rstate = { entries : Miller.entry array; exq : FpM.e; eyq : FpM.e }
+
+let line_value fp (c : Miller.coeffs) xq yq =
+  (* alpha + beta·x_q is lazy (< 2m): it feeds only the F2M
+     multiplication below. *)
+  F2M.make
+    (FpM.add_lazy fp c.Miller.alpha (FpM.mul fp c.Miller.beta xq))
+    (FpM.mul fp c.Miller.gamma yq)
+
+let miller_replay_shared (prm : Params.t) states =
+  let fp = prm.fp in
+  let f = ref (F2M.one fp) in
+  let n = max (Nat.bit_length prm.q - 1) 0 in
+  for j = 0 to n - 1 do
+    f := F2M.sqr fp !f;
+    Array.iter
+      (fun st ->
+        match st.entries.(j).Miller.dbl with
+        | Some c -> f := F2M.mul fp !f (line_value fp c st.exq st.eyq)
+        | None -> ())
+      states;
+    (* Chord entries are [Some] exactly on set exponent bits, so the
+       bit test of the live loop is implicit here. *)
+    Array.iter
+      (fun st ->
+        match st.entries.(j).Miller.add with
+        | Some c -> f := F2M.mul fp !f (line_value fp c st.exq st.eyq)
+        | None -> ())
+      states
+  done;
+  !f
+
+let rstate (prm : Params.t) (pc : Miller.precomp) bx by =
+  if pc.Miller.nbits <> Nat.bit_length prm.q then
+    invalid_arg "Tate.pairing_precomp: precomp from a different parameter set";
+  {
+    entries = pc.Miller.entries;
+    exq = FpM.enter prm.fp bx;
+    eyq = FpM.enter prm.fp by;
+  }
+
+let pairing_precomp (prm : Params.t) b (pc : precomp) =
+  Telemetry.incr c_pairings;
+  Telemetry.incr c_single;
+  match b, pc.Miller.base with
+  | Curve.Infinity, _ | _, Curve.Infinity -> gt_one
+  | Curve.Affine (bx, by), _ ->
+    let f = miller_replay_shared prm [| rstate prm pc bx by |] in
+    if F2M.is_zero f then gt_one else F2M.leave prm.fp (final_expo_mont prm f)
+
+let multi_pairing_precomp (prm : Params.t) terms =
+  let finite =
+    List.filter_map
+      (fun (b, (pc : precomp)) ->
+        match b, pc.Miller.base with
+        | Curve.Infinity, _ | _, Curve.Infinity -> None
+        | Curve.Affine (bx, by), _ -> Some (rstate prm pc bx by))
+      terms
+  in
+  match finite with
+  | [] -> gt_one
+  | _ ->
+    Telemetry.incr c_pairings;
+    Telemetry.incr c_multi;
+    Telemetry.add c_multi_terms (List.length finite);
+    let f = miller_replay_shared prm (Array.of_list finite) in
+    if F2M.is_zero f then gt_one else F2M.leave prm.fp (final_expo_mont prm f)
 
 let pairing_affine prm p q =
   Telemetry.incr c_pairings;

@@ -34,10 +34,41 @@ val pairing_affine : Params.t -> Curve.point -> Curve.point -> gt
     inversion per iteration) — slower, used to cross-validate
     {!pairing} and in the ablation benchmarks. *)
 
+type precomp = Miller.precomp
+(** Precomputed Miller line tables for a fixed pairing argument. *)
+
+val precompute : Params.t -> Curve.point -> precomp
+(** Build the tables for a fixed argument (uncached; see
+    {!precomp_for}). *)
+
+val precomp_for : Params.t -> Curve.point -> precomp
+(** Cached {!precompute}, via {!Params.miller_precomp_for}. *)
+
+val pairing_precomp : Params.t -> Curve.point -> precomp -> gt
+(** [pairing_precomp prm b pc] replays [pc]'s line sequence at [b],
+    computing ê(base, b) without any Jacobian arithmetic — several
+    times faster than {!pairing}.  For points of the order-q subgroup
+    this equals [pairing prm b pc.base] by symmetry; callers passing
+    untrusted points must subgroup-check them first, since ê(base, ·)
+    annihilates cofactor components that {!pairing} with swapped
+    arguments would see.  Counts one pairing evaluation.
+    @raise Invalid_argument if the precomp was built for a parameter
+    set with a different subgroup order width. *)
+
+val multi_pairing_precomp : Params.t -> (Curve.point * precomp) list -> gt
+(** Product Π ê(base_i, b_i) over one shared squaring chain and one
+    final exponentiation, like {!multi_pairing}; terms whose point or
+    base is infinity contribute 1 and are skipped. *)
+
 val gt_one : gt
 val gt_is_one : gt -> bool
 val gt_equal : gt -> gt -> bool
 val gt_mul : Params.t -> gt -> gt -> gt
+
+val gt_is_unitary : Params.t -> gt -> bool
+(** Norm-1 (unitary subgroup) membership — holds for every element
+    that went through the final exponentiation.  This is the fast
+    path {!gt_inv} tests before falling back to a full inversion. *)
 
 val gt_inv : Params.t -> gt -> gt
 (** Total inversion on F_p²*.  Conjugation inverts only {e unitary}

@@ -68,7 +68,10 @@ let prove (prm : Params.t) file chal =
   { mu; sigma }
 
 let verify (prm : Params.t) keys ~name chal { mu; sigma } =
-  Curve.on_curve prm.curve sigma
+  (* Subgroup-check the prover-supplied σ: the precomputed pairings
+     below rely on symmetry, which only holds on the order-q
+     subgroup. *)
+  Sc_pairing.Params.in_subgroup prm sigma
   &&
   let h_combined =
     List.fold_left
@@ -78,5 +81,5 @@ let verify (prm : Params.t) keys ~name chal { mu; sigma } =
   in
   let rhs_point = Curve.add prm.curve h_combined (Curve.mul prm.curve mu keys.u) in
   Tate.gt_equal
-    (Tate.pairing prm sigma prm.g)
-    (Tate.pairing prm rhs_point keys.pk)
+    (Tate.pairing_precomp prm sigma (Tate.precomp_for prm prm.g))
+    (Tate.pairing_precomp prm rhs_point (Tate.precomp_for prm keys.pk))

@@ -7,13 +7,6 @@
 ; when an entry no longer matches anything, so this file can only shrink.
 
 ((rule domain-safety)
- (file lib/bignum/prime.ml)
- (key small_primes)
- (justification
-  "Sieve scratch refs live only inside the one-shot toplevel initializer; \
-   the resulting int array is never written after construction."))
-
-((rule domain-safety)
  (file lib/erasure/gf256.ml)
  (key _)
  (justification

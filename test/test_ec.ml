@@ -128,6 +128,62 @@ let precomp_tests =
         done);
   ]
 
+(* The wNAF path behind Curve.mul and the comb behind Curve.mul_precomp
+   against the double-and-add reference, including scalars past the
+   group order and the small-order points of the F_23 curve that force
+   the 2-torsion / mid-chain-infinity fallbacks. *)
+let wnaf_tests =
+  let open Util in
+  let equiv name prm n =
+    case name (fun () ->
+        let curve = prm.Sc_pairing.Params.curve in
+        let g = prm.Sc_pairing.Params.g in
+        let bs = Util.fresh_bs ("wnaf-" ^ name) in
+        for i = 1 to n do
+          let a = Sc_pairing.Params.random_scalar prm ~bytes_source:bs in
+          let pt = Curve.mul_naive curve a g in
+          (* 20 raw bytes: exercises scalars well past q. *)
+          let s = Nat.of_bytes_be (bs 20) in
+          if
+            not
+              (Curve.equal (Curve.mul curve s pt) (Curve.mul_naive curve s pt))
+          then Alcotest.failf "mismatch at sample %d" i
+        done)
+  in
+  [
+    equiv "wNAF mul = double-and-add, scalars past q (toy)"
+      (Lazy.force Util.toy_params) 25;
+    equiv "wNAF mul = double-and-add (small)"
+      (Lazy.force Sc_pairing.Params.small) 8;
+    case "wNAF agrees on every point of F_23 (small-order fallbacks)"
+      (fun () ->
+        List.iter
+          (fun pt ->
+            for k = 0 to 30 do
+              Alcotest.(check point)
+                (Printf.sprintf "%dP" k)
+                (Curve.mul_naive c23 (Nat.of_int k) pt)
+                (Curve.mul c23 (Nat.of_int k) pt)
+            done)
+          (all_points c23 p23 23));
+    case "comb precomp = double-and-add on the generator" (fun () ->
+        let prm = Lazy.force Util.toy_params in
+        let curve = prm.Sc_pairing.Params.curve in
+        let g = prm.Sc_pairing.Params.g in
+        let q = prm.Sc_pairing.Params.q in
+        let pc = Curve.precompute curve ~bits:(Nat.bit_length q) g in
+        let bs = Util.fresh_bs "comb-naive" in
+        for _ = 1 to 20 do
+          let s = Sc_pairing.Params.random_scalar prm ~bytes_source:bs in
+          if
+            not
+              (Curve.equal
+                 (Curve.mul_precomp curve pc s)
+                 (Curve.mul_naive curve s g))
+          then Alcotest.fail "mismatch"
+        done);
+  ]
+
 let property_tests =
   let open Util in
   let prm = Lazy.force Util.toy_params in
@@ -161,4 +217,4 @@ let property_tests =
         | None -> false);
   ]
 
-let suite = unit_tests @ precomp_tests @ property_tests
+let suite = unit_tests @ precomp_tests @ wnaf_tests @ property_tests

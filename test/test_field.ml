@@ -93,6 +93,56 @@ let unit_tests =
         check fp2_el "x^p" (Fp2.conj fp x) (Fp2.pow fp x p));
   ]
 
+(* Batch inversion (Montgomery's trick) against pointwise inversion,
+   in both representations, plus the lazy-reduction adds/subs that the
+   Karatsuba Fp2 multiplier feeds into mul. *)
+let batch_and_lazy_tests =
+  let open Util in
+  [
+    qcheck ~count:50 "fp batch_inv = pointwise inv"
+      QCheck2.Gen.(list_size (int_range 0 8) gen_el)
+      (fun xs ->
+        let xs = Array.of_list xs in
+        if Array.exists Fp.is_zero xs then true
+        else
+          let ys = Fp.batch_inv fp xs in
+          Array.for_all2 (fun x y -> Fp.equal (Fp.inv fp x) y) xs ys);
+    case "fp batch_inv rejects a zero element" (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Fp.batch_inv fp [| Fp.one; Fp.zero; Fp.of_int fp 7 |])));
+    case "fp batch_inv of the empty array" (fun () ->
+        check Alcotest.int "empty" 0 (Array.length (Fp.batch_inv fp [||])));
+    qcheck ~count:50 "mont batch_inv = pointwise inv"
+      QCheck2.Gen.(list_size (int_range 1 8) gen_el)
+      (fun xs ->
+        let xs = List.filter (fun x -> not (Fp.is_zero x)) xs in
+        let ms = Array.of_list (List.map (Fp.Mont.enter fp) xs) in
+        let ys = Fp.Mont.batch_inv fp ms in
+        Array.for_all2
+          (fun m y -> Fp.Mont.equal (Fp.Mont.inv fp m) y)
+          ms ys);
+    case "mont batch_inv rejects a zero element" (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Fp.Mont.batch_inv fp [| Fp.Mont.zero fp |])));
+    qcheck ~count:60 "lazy add/sub feed mul like strict add/sub"
+      (QCheck2.Gen.quad gen_el gen_el gen_el gen_el)
+      (fun (a, b, c, d) ->
+        let m = Fp.Mont.enter fp in
+        let ma = m a and mb = m b and mc = m c and md = m d in
+        (* Lazy sums are only ever consumed by mul/sqr; compare that
+           whole pattern against the strict path. *)
+        let lazy_prod =
+          Fp.Mont.mul fp (Fp.Mont.add_lazy fp ma mb) (Fp.Mont.sub_lazy fp mc md)
+        in
+        let strict_prod =
+          Fp.Mont.mul fp (Fp.Mont.add fp ma mb) (Fp.Mont.sub fp mc md)
+        in
+        let lazy_sqr = Fp.Mont.sqr fp (Fp.Mont.add_lazy fp ma mb) in
+        let strict_sqr = Fp.Mont.sqr fp (Fp.Mont.add fp ma mb) in
+        Fp.Mont.equal lazy_prod strict_prod
+        && Fp.Mont.equal lazy_sqr strict_sqr);
+  ]
+
 let property_tests =
   let open Util in
   [
@@ -160,4 +210,4 @@ let mont_tests =
           (Fp.Mont.equal (Fp.Mont.one fp) (Fp.Mont.of_int fp 1)));
   ]
 
-let suite = unit_tests @ property_tests @ mont_tests
+let suite = unit_tests @ batch_and_lazy_tests @ property_tests @ mont_tests

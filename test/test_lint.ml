@@ -133,6 +133,40 @@ let exception_discipline =
       "let parse s = Option.value ~default:0 (int_of_string_opt s)\n";
   ]
 
+let naive_ladder_src =
+  "let slow_mul c k p =\n\
+  \  let acc = ref Curve.infinity in\n\
+  \  for i = Nat.bit_length k - 1 downto 0 do\n\
+  \    acc := Curve.double c !acc;\n\
+  \    if Nat.test_bit k i then acc := Curve.add c !acc p\n\
+  \  done;\n\
+  \  !acc\n"
+
+let naive_scalar_mul =
+  [
+    case "double-and-add ladder outside lib/ec is flagged informational"
+      (fun () ->
+        let fs = lint_bin naive_ladder_src in
+        let f = List.find (fun f -> f.Finding.rule = "naive-scalar-mul") fs in
+        check Alcotest.bool "info severity" true
+          (f.Finding.severity = Finding.Info);
+        check Alcotest.string "key is the binding name" "slow_mul"
+          f.Finding.key);
+    case "the same ladder inside lib/ec is the implementation, not a finding"
+      (fun () ->
+        let fs =
+          Engine.lint_source
+            { Engine.rel = "lib/ec/fixture.ml"; content = naive_ladder_src;
+              has_mli = true }
+        in
+        check Alcotest.bool "not flagged" false
+          (has_rule "naive-scalar-mul" fs));
+    no_findings "going through Curve.mul is the sanctioned path"
+      "let scale c k p = Curve.mul c k p\n";
+    no_findings "bit scans without point doubling (serialization) are fine"
+      "let bits k = List.init (Nat.bit_length k) (Nat.test_bit k)\n";
+  ]
+
 let infra =
   [
     case "lib module without .mli yields an informational finding" (fun () ->
@@ -232,4 +266,4 @@ let self_lint =
 
 let suite =
   domain_safety @ signing_encode @ determinism @ secret_flow
-  @ exception_discipline @ infra @ waivers @ self_lint
+  @ exception_discipline @ naive_scalar_mul @ infra @ waivers @ self_lint

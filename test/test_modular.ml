@@ -291,6 +291,73 @@ let jacobi_tests =
           [ 2, 3; 5, 7; 10, 100; 17, 59 ]);
   ]
 
+(* Lazy (redundant-representation) add/sub and batch inversion across
+   moduli of assorted widths — including the narrow ones where
+   16m > B^k forces the strict fallback inside add_lazy/sub_lazy. *)
+let montgomery_lazy_tests =
+  let open Util in
+  [
+    qcheck ~count:80 "lazy add/sub feed mul like strict, any odd modulus"
+      (QCheck2.Gen.pair gen_mod (QCheck2.Gen.pair gen_nat_small gen_nat_small))
+      (fun (m, (a, b)) ->
+        let m = if Nat.is_even m then Nat.add m Nat.one else m in
+        if Nat.compare m (Nat.of_int 3) < 0 then true
+        else
+          let ctx = Montgomery.create m in
+          let ma = Montgomery.to_mont ctx (Nat.rem a m) in
+          let mb = Montgomery.to_mont ctx (Nat.rem b m) in
+          let lhs =
+            Montgomery.mul ctx
+              (Montgomery.add_lazy ctx ma mb)
+              (Montgomery.sub_lazy ctx ma mb)
+          in
+          let rhs =
+            Montgomery.mul ctx (Montgomery.add ctx ma mb)
+              (Montgomery.sub ctx ma mb)
+          in
+          Nat.equal (Montgomery.of_mont ctx lhs) (Montgomery.of_mont ctx rhs));
+    qcheck ~count:40 "montgomery batch_inv = pointwise inv"
+      (QCheck2.Gen.pair gen_mod
+         QCheck2.Gen.(list_size (int_range 1 6) gen_nat_small))
+      (fun (m, vs) ->
+        let m = if Nat.is_even m then Nat.add m Nat.one else m in
+        if Nat.compare m (Nat.of_int 3) < 0 then true
+        else
+          let ctx = Montgomery.create m in
+          let xs =
+            List.filter_map
+              (fun v ->
+                let r = Nat.rem v m in
+                if Nat.is_zero r then None
+                else Some (Montgomery.to_mont ctx r))
+              vs
+          in
+          let xs = Array.of_list xs in
+          (* m may be composite: batch_inv must raise exactly when some
+             element has no inverse, and agree pointwise otherwise. *)
+          (match Montgomery.batch_inv ctx xs with
+          | ys ->
+            Array.for_all2
+              (fun x y ->
+                Nat.equal
+                  (Montgomery.of_mont ctx (Montgomery.inv ctx x))
+                  (Montgomery.of_mont ctx y))
+              xs ys
+          | exception Not_found ->
+            Array.exists
+              (fun x ->
+                match Montgomery.inv ctx x with
+                | _ -> false
+                | exception Not_found -> true)
+              xs));
+    case "montgomery batch_inv rejects a zero element" (fun () ->
+        let ctx = Montgomery.create (Nat.of_int 1009) in
+        Alcotest.check_raises "zero" Not_found (fun () ->
+            ignore
+              (Montgomery.batch_inv ctx
+                 [| Montgomery.one ctx; Montgomery.zero ctx |])));
+  ]
+
 let suite =
   unit_tests @ property_tests @ montgomery_tests @ montgomery_arith_tests
-  @ montgomery_property_tests @ jacobi_tests
+  @ montgomery_lazy_tests @ montgomery_property_tests @ jacobi_tests

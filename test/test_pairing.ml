@@ -218,5 +218,107 @@ let property_tests =
           (Tate.gt_pow prm e (Nat.rem (Nat.add a b) prm.Params.q)));
   ]
 
+(* Fixed-base precomputation: replayed line tables against the live
+   Miller loop, the hit/miss bookkeeping of the per-Params caches, and
+   their behaviour under concurrent forcing from several domains. *)
+let precomp_tests =
+  let open Util in
+  let module Telemetry = Sc_telemetry.Telemetry in
+  let equiv name prm n =
+    case name (fun () ->
+        let bs = fresh_bs ("pairing-precomp-" ^ name) in
+        let g = prm.Params.g in
+        let pc = Tate.precompute prm g in
+        for i = 1 to n do
+          let a = Params.random_scalar prm ~bytes_source:bs in
+          let pa = Curve.mul prm.Params.curve a g in
+          if
+            not
+              (Tate.gt_equal
+                 (Tate.pairing_precomp prm pa pc)
+                 (Tate.pairing prm pa g))
+          then Alcotest.failf "mismatch at sample %d" i
+        done)
+  in
+  [
+    equiv "pairing_precomp = pairing, random first args (toy)" prm 20;
+    equiv "pairing_precomp = pairing, random first args (small)"
+      (Lazy.force Params.small) 6;
+    case "pairing_precomp with infinity argument is 1" (fun () ->
+        let pc = Tate.precompute prm g in
+        check gt "e(O, g)" Tate.gt_one
+          (Tate.pairing_precomp prm Curve.infinity pc));
+    case "multi_pairing_precomp equals multi_pairing" (fun () ->
+        let terms =
+          List.init 4 (fun _ ->
+              let a = Params.random_scalar prm ~bytes_source:bs in
+              let b = Params.random_scalar prm ~bytes_source:bs in
+              ( Curve.mul prm.Params.curve a g,
+                Curve.mul prm.Params.curve b g ))
+        in
+        check gt "product"
+          (Tate.multi_pairing prm terms)
+          (Tate.multi_pairing_precomp prm
+             (List.map (fun (x, y) -> x, Tate.precomp_for prm y) terms)));
+    case "precomp caches count one miss then hits" (fun () ->
+        let bs = fresh_bs "precomp-counters" in
+        let fresh =
+          Curve.mul prm.Params.curve
+            (Params.random_scalar prm ~bytes_source:bs)
+            g
+        in
+        let h0 = Telemetry.counter_value "pairing.precomp.hit" in
+        let m0 = Telemetry.counter_value "pairing.precomp.miss" in
+        let pc1 = Tate.precomp_for prm fresh in
+        let pc2 = Tate.precomp_for prm fresh in
+        check Alcotest.int "one miss"
+          (m0 + 1)
+          (Telemetry.counter_value "pairing.precomp.miss");
+        check Alcotest.int "one hit"
+          (h0 + 1)
+          (Telemetry.counter_value "pairing.precomp.hit");
+        check Alcotest.bool "hit returns the cached table" true (pc1 == pc2));
+    case "pairing_precomp rejects tables from another parameter set"
+      (fun () ->
+        let small = Lazy.force Params.small in
+        let pc = Tate.precompute prm g in
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument
+             "Tate.pairing_precomp: precomp from a different parameter set")
+          (fun () ->
+            ignore (Tate.pairing_precomp small small.Params.g pc)));
+    case "precomp_for caches are domain-race safe" (fun () ->
+        let bs = fresh_bs "precomp-race" in
+        let pts =
+          List.init 6 (fun _ ->
+              Curve.mul prm.Params.curve
+                (Params.random_scalar prm ~bytes_source:bs)
+                g)
+        in
+        let m0 = Telemetry.counter_value "pairing.precomp.miss" in
+        let work () =
+          List.map
+            (fun pt -> Sc_pairing.Params.precomp_for prm pt, Tate.precomp_for prm pt)
+            pts
+        in
+        let others = List.init 3 (fun _ -> Domain.spawn work) in
+        let mine = work () in
+        let results = mine :: List.map Domain.join others in
+        List.iter
+          (fun r ->
+            List.iter2
+              (fun (c1, l1) (c2, l2) ->
+                check Alcotest.bool "same comb table" true (c1 == c2);
+                check Alcotest.bool "same line table" true (l1 == l2))
+              mine r)
+          results;
+        (* Double-check locking: each point computed exactly once per
+           cache, no matter how many domains raced on it. *)
+        check Alcotest.int "each point computed once per cache"
+          (2 * List.length pts)
+          (Telemetry.counter_value "pairing.precomp.miss" - m0));
+  ]
+
 let suite =
-  unit_tests @ cross_validation_tests @ multi_pairing_tests @ property_tests
+  unit_tests @ cross_validation_tests @ multi_pairing_tests @ precomp_tests
+  @ property_tests

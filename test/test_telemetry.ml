@@ -159,7 +159,8 @@ let spans =
           and s_in = float_field inner "start_us"
           and d_out = float_field outer "dur_us"
           and d_in = float_field inner "dur_us" in
-          check Alcotest.bool "child starts after parent" true (s_in >= s_out);
+          check Alcotest.bool "child starts after parent" true
+            (s_in >= s_out -. 1e-6 -. (1e-5 *. Float.max s_out 1.0));
           (* The JSON trace prints timestamps with 6 significant
              digits, so late in a long test run the quantization step
              exceeds any fixed epsilon; allow the relative error. *)

@@ -1,4 +1,4 @@
-(* The five AST rules, on the 5.1 Parsetree via [Ast_iterator].
+(* The six AST rules, on the 5.1 Parsetree via [Ast_iterator].
 
    Rule ids:
      domain-safety      toplevel mutable state (ref / Hashtbl.create /
@@ -14,7 +14,11 @@
                         master_secret, ...) in telemetry label arguments,
                         Printf/Format output, or wire-payload construction
      exception-swallow  catch-all [with _ ->] / [with e ->] handlers that
-                        neither use the exception nor re-raise *)
+                        neither use the exception nor re-raise
+     naive-scalar-mul   (informational) hand-rolled double-and-add scalar
+                        multiplication outside lib/ec — a Nat.test_bit
+                        loop driving Curve.double; Curve.mul (wNAF) or a
+                        cached Curve.mul_precomp comb is faster *)
 
 open Parsetree
 module SSet = Set.Make (String)
@@ -32,16 +36,9 @@ type ctx = {
 
 let line_of (loc : Location.t) = loc.loc_start.Lexing.pos_lnum
 
-let emit ctx ~rule ~loc ~key msg =
+let emit ?(severity = Finding.Error) ctx ~rule ~loc ~key msg =
   ctx.out <-
-    {
-      Finding.rule;
-      file = ctx.path;
-      line = line_of loc;
-      severity = Finding.Error;
-      key;
-      msg;
-    }
+    { Finding.rule; file = ctx.path; line = line_of loc; severity; key; msg }
     :: ctx.out
 
 (* ------------------------------------------------------------------ *)
@@ -464,6 +461,47 @@ let rule_domain_safety ctx ~name vb =
   it.expr it vb.pvb_expr
 
 (* ------------------------------------------------------------------ *)
+(* Rule 6: naive scalar multiplication outside lib/ec                 *)
+
+(* The signature of a hand-rolled double-and-add ladder is a scalar
+   bit scan ([test_bit]) in the same binding as a direct
+   [Curve.double] call: well-behaved callers never touch
+   [Curve.double] — they go through [Curve.mul] (wNAF) or a cached
+   [Curve.mul_precomp] comb.  Informational: a bespoke ladder can be
+   deliberate (e.g. a constant-time variant), so it never fails the
+   build and is not meant to be waived away. *)
+let in_lib_ec path =
+  String.length path >= 7 && String.sub path 0 7 = "lib/ec/"
+
+let rule_naive_scalar_mul ctx ~name vb =
+  if not (in_lib_ec ctx.path) then begin
+    let scans_bits = ref false and doubles_point = ref false in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            (match e.pexp_desc with
+            | Pexp_ident { txt; _ } ->
+              let p = flat txt in
+              if tail1 p = Some "test_bit" then scans_bits := true;
+              if tail2 p = Some "Curve.double" then doubles_point := true
+            | _ -> ());
+            Ast_iterator.default_iterator.expr it e);
+      }
+    in
+    it.expr it vb.pvb_expr;
+    if !scans_bits && !doubles_point then
+      emit ctx ~severity:Finding.Info ~rule:"naive-scalar-mul"
+        ~loc:vb.pvb_loc ~key:name
+        (Printf.sprintf
+           "%S scans scalar bits and calls Curve.double directly — a naive \
+            double-and-add ladder; use Curve.mul (wNAF) or a cached \
+            Curve.mul_precomp comb (informational)"
+           name)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Main walk                                                          *)
 
 let lint_structure ctx (str : structure) =
@@ -546,6 +584,7 @@ let lint_structure ctx (str : structure) =
         (fun vb ->
           let name = Option.value (bound_var vb.pvb_pat) ~default:"_" in
           if toplevel then rule_domain_safety ctx ~name vb;
+          rule_naive_scalar_mul ctx ~name vb;
           let saved = !enclosing in
           enclosing := name;
           expr_iter.expr expr_iter vb.pvb_expr;
