@@ -42,13 +42,20 @@ bench-check:
 # batched audit of k jobs costing more than k+1 equations), then once
 # more over a seeded lossy transport (30% drop, 5% tamper): the audit
 # round must still terminate with typed verdicts, exercise the retry
-# path, and keep the attempt ledger consistent.
+# path, and keep the attempt ledger consistent.  Finally a traced
+# lossy simulation is analyzed against the SLOs in bench/trace.slo
+# (trace-tree integrity, zero false alarms, latency ceilings) and the
+# report lands in BENCH_trace.json.
 metrics-check:
 	dune exec bin/seccloud_cli.exe -- stats --params toy --check
 	dune exec bin/seccloud_cli.exe -- stats --params toy --check \
 	  --drop 0.3 --tamper 0.05 --seed lossy
 	SECCLOUD_DOMAINS=4 dune exec bin/seccloud_cli.exe -- stats --params toy \
 	  --check
+	dune exec bin/seccloud_cli.exe -- simulate --epochs 3 --drop 0.05 \
+	  --seed slo --trace trace_slo.jsonl
+	dune exec bin/seccloud_cli.exe -- trace analyze trace_slo.jsonl \
+	  --slo bench/trace.slo --out BENCH_trace.json
 
 repro:
 	dune exec bin/repro.exe -- all

@@ -118,8 +118,69 @@ let () =
           time_ns ~iters:20 (fun () -> Sc_ibc.Ibs.verify_batch pub batch8) );
       ]
   in
-  (* One-shot counter deltas, read back from the telemetry registry. *)
+  (* Telemetry overhead: the metric fast paths (ns/op, measured over
+     an inner loop because a single op is below timer resolution) and
+     what a null-sink trace adds to a full enveloped RPC round trip. *)
   let module Telemetry = Sc_telemetry.Telemetry in
+  let module Labels = Sc_telemetry.Labels in
+  let c_bench = Telemetry.counter "bench.telemetry.incr" in
+  let h_bench =
+    Telemetry.histogram ~buckets:(Telemetry.log_buckets ())
+      "bench.telemetry.observe"
+  in
+  let v_bench = Labels.counter_vec ~label:"kind" "bench.telemetry.labeled" in
+  let inner = 1000 in
+  let per_op ns = ns /. float_of_int inner in
+  let sys_rpc =
+    Seccloud.System.create ~params:Sc_pairing.Params.toy ~seed:"bench-rpc"
+      ~cs_ids:[ "cs" ] ~da_id:"da" ()
+  in
+  let cloud_rpc = Seccloud.Cloud.create sys_rpc ~id:"cs" () in
+  let server_rpc = Seccloud.Endpoint.Server.create sys_rpc cloud_rpc in
+  let transport_rpc =
+    Seccloud.Transport.create ~peer:"cs"
+      ~public:(Seccloud.System.public sys_rpc)
+      ~handler:(Seccloud.Endpoint.Server.handle server_rpc)
+      ()
+  in
+  let rpc () =
+    match
+      Seccloud.Transport.call transport_rpc ~expect:"storage_response"
+        (Seccloud.Wire.Storage_challenge { file = "none"; indices = [ 0 ] })
+    with
+    | Ok _ -> ()
+    | Error _ -> assert false
+  in
+  Telemetry.set_sink None;
+  let rpc_plain_ns = time_ns ~iters:200 rpc in
+  Telemetry.set_sink (Some ignore);
+  let rpc_traced_ns = time_ns ~iters:200 rpc in
+  Telemetry.set_sink None;
+  let results =
+    results
+    @ [
+        ( "telemetry_incr",
+          per_op
+            (time_ns ~iters:100 (fun () ->
+                 for _ = 1 to inner do
+                   Telemetry.incr c_bench
+                 done)) );
+        ( "telemetry_incr_labeled",
+          per_op
+            (time_ns ~iters:100 (fun () ->
+                 for _ = 1 to inner do
+                   Labels.incr v_bench "upload"
+                 done)) );
+        ( "telemetry_observe_hdr",
+          per_op
+            (time_ns ~iters:100 (fun () ->
+                 for i = 1 to inner do
+                   Telemetry.observe h_bench (float_of_int i)
+                 done)) );
+        "rpc_roundtrip", rpc_plain_ns;
+        "rpc_roundtrip_traced", rpc_traced_ns;
+      ]
+  in
   Tate.reset_pairing_count ();
   assert (Sc_ibc.Ibs.verify pub ~signer:"alice" ~msg:"bench" s);
   let ibs_verify_pairings = Tate.pairings_performed () in

@@ -77,7 +77,7 @@ let samplesize csc ssc range eps =
       eps
   | None -> print_endline "no finite sample size reaches the target epsilon"
 
-let simulate epochs servers byzantine users drop tamper seed =
+let simulate epochs servers byzantine users drop tamper seed trace =
   let config =
     {
       Sc_sim.Engine.default_config with
@@ -89,7 +89,12 @@ let simulate epochs servers byzantine users drop tamper seed =
       faults = Seccloud.Transport.lossy ~drop ~tamper ();
     }
   in
-  let stats = Sc_sim.Engine.run config in
+  let run () = Sc_sim.Engine.run config in
+  let stats =
+    match trace with
+    | Some path -> Telemetry.with_trace_file path run
+    | None -> run ()
+  in
   Printf.printf
     "simulated %d epochs, %d audits: detected=%d undetected=%d \
      false_alarms=%d honest_passed=%d\n"
@@ -105,7 +110,45 @@ let simulate epochs servers byzantine users drop tamper seed =
       "channel (drop=%.2f tamper=%.2f): %d rounds blamed on timeouts, %d on \
        in-flight tampering\n"
       drop tamper stats.Sc_sim.Engine.channel_timeouts
-      stats.Sc_sim.Engine.channel_tampering
+      stats.Sc_sim.Engine.channel_tampering;
+  match trace with
+  | Some path -> Printf.printf "span trace (JSONL) written to %s\n" path
+  | None -> ()
+
+(* `trace analyze`: offline reconstruction of the JSONL span trace
+   written by `simulate --trace` / `stats --trace`, with an optional
+   declarative SLO gate (exit 1 on violation). *)
+let trace_analyze file slo out =
+  let module A = Sc_telemetry.Trace_analysis in
+  let spans, skipped = A.load file in
+  let report = A.analyze ~skipped_lines:skipped spans in
+  let slos =
+    match slo with
+    | None -> None
+    | Some path ->
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match A.check_slos report spans content with
+      | Ok slos -> Some slos
+      | Error msg ->
+        Printf.eprintf "SLO file %s rejected:\n%s\n" path msg;
+        exit 2)
+  in
+  A.print_report stdout ?slos report;
+  (match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (A.report_json ?slos report);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nreport written to %s\n" path);
+  match slos with
+  | Some slos when List.exists (fun (s : A.slo) -> not s.A.pass) slos ->
+    prerr_endline "SLO violations detected";
+    exit 1
+  | Some _ | None -> ()
 
 (* The instrumented workload behind `stats`: one pass over Protocols
    I-III plus a batched two-job audit, with every exchange charged
@@ -286,7 +329,7 @@ let stats_workload preset seed ~drop ~tamper =
   in
   ibs_pairings, ibs_precomp_misses, List.length jobs, batch_pairings, wire_summary
 
-let stats verbose preset seed drop tamper trace check =
+let stats verbose preset seed drop tamper trace openmetrics check =
   setup_logging verbose;
   let run () = stats_workload preset seed ~drop ~tamper in
   let ibs_pairings, ibs_precomp_misses, batch_jobs, batch_pairings, wire_summary =
@@ -303,6 +346,13 @@ let stats verbose preset seed drop tamper trace check =
   (match trace with
   | Some path -> Printf.printf "\nspan trace (JSONL) written to %s\n" path
   | None -> ());
+  (match openmetrics with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Sc_telemetry.Openmetrics.render ());
+    close_out oc;
+    Printf.printf "\nOpenMetrics exposition written to %s\n" path);
   if check then begin
     Printf.printf "\ncost invariants:\n";
     let failures = ref 0 in
@@ -332,6 +382,8 @@ let stats verbose preset seed drop tamper trace check =
          - (Telemetry.counter_value "transport.rpc"
            + Telemetry.counter_value "transport.retry")))
       0;
+    invariant "no spans leaked open after the workload"
+      (Telemetry.open_spans ()) 0;
     if drop = 0.0 && tamper = 0.0 then
       invariant "no retries on a perfect channel"
         (Telemetry.counter_value "transport.retry")
@@ -392,6 +444,13 @@ let stats_cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL span trace to $(docv).")
   in
+  let openmetrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "openmetrics" ] ~docv:"FILE"
+          ~doc:"Write an OpenMetrics text exposition of the registry to $(docv).")
+  in
   let check =
     Arg.(
       value
@@ -404,7 +463,13 @@ let stats_cmd =
        ~doc:"Run an instrumented demo/audit workload and print the metrics tree")
     Term.(
       const stats $ verbose_arg $ preset_arg $ seed_arg $ drop_arg
-      $ tamper_arg $ trace $ check)
+      $ tamper_arg $ trace $ openmetrics $ check)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL span trace to $(docv).")
 
 let simulate_cmd =
   let epochs = Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Epochs.") in
@@ -414,10 +479,41 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run the Byzantine cloud simulation")
     Term.(
       const simulate $ epochs $ servers $ byzantine $ users $ drop_arg
-      $ tamper_arg $ seed_arg)
+      $ tamper_arg $ seed_arg $ trace_file_arg)
+
+let trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"JSONL span trace to analyze.")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "slo" ] ~docv:"FILE"
+          ~doc:"Declarative SLO assertions; exit 1 on violation.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON report to $(docv).")
+  in
+  let analyze_cmd =
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:
+           "Reconstruct trace trees; report critical paths, per-layer \
+            attribution and per-protocol latency quantiles")
+      Term.(const trace_analyze $ file $ slo $ out)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"Span-trace analysis") [ analyze_cmd ]
 
 let () =
   let info = Cmd.info "seccloud" ~version:"1.0" ~doc:"SecCloud demo CLI" in
   exit
     (Cmd.eval
-       (Cmd.group info [ demo_cmd; samplesize_cmd; simulate_cmd; stats_cmd ]))
+       (Cmd.group info
+          [ demo_cmd; samplesize_cmd; simulate_cmd; stats_cmd; trace_cmd ]))

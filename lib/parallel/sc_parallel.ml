@@ -88,17 +88,25 @@ let ensure_workers () =
 
 (* Run every thunk, distributing across the pool, and return once all
    have finished.  The first exception (if any) is re-raised in the
-   caller after the whole batch has drained. *)
+   caller after the whole batch has drained.
+
+   Trace propagation: the submitter's span context is captured at
+   submission and installed as the ambient remote context around each
+   task, so spans opened on a worker domain attach to the submitting
+   span's trace instead of starting unrelated trees.  (On the helping
+   submitter the install is a no-op — its own span stack already
+   provides the parent.) *)
 let run_tasks thunks =
   match thunks with
   | [] -> ()
   | [ t ] -> t ()
   | thunks ->
     ensure_workers ();
+    let ctx = Sc_telemetry.Telemetry.current_context () in
     let remaining = ref (List.length thunks) in
     let failure = ref None in
     let wrap f () =
-      (try f ()
+      (try Sc_telemetry.Telemetry.with_context ctx f
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Mutex.lock pool.m;

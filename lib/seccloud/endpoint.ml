@@ -1,6 +1,7 @@
 module Protocol = Sc_audit.Protocol
 module Batch = Sc_audit.Batch
 module Server_impl = Sc_storage.Server
+module Telemetry = Sc_telemetry.Telemetry
 
 module Server = struct
   type t = {
@@ -11,12 +12,18 @@ module Server = struct
 
   let create system cloud = { system; cloud; executions = Hashtbl.create 8 }
 
-  let reply t msg = Wire.encode (System.public t.system) msg
+  (* Replies carry the server's own span context so the client could,
+     in principle, stitch the server timeline; the client currently
+     ignores it (its rpc span is already the local parent). *)
+  let reply t msg =
+    Envelope.wrap
+      ?ctx:(Telemetry.current_context ())
+      (Wire.encode (System.public t.system) msg)
+
   let err t detail = reply t (Wire.Ack { ok = false; detail })
 
-  let handle t ~now data =
-    let pub = System.public t.system in
-    match Wire.decode pub data with
+  let handle_payload t ~now pub payload =
+    match Wire.decode pub payload with
     | exception Wire.Decode_error detail -> err t ("decode: " ^ detail)
     | Wire.Upload upload ->
       let ok = Cloud.accept_upload t.cloud upload in
@@ -49,6 +56,20 @@ module Server = struct
     | Wire.Storage_response _ | Wire.Compute_commitment _
     | Wire.Audit_response _ | Wire.Ack _ ->
       err t "unexpected message kind"
+
+  (* The request envelope is peeled before Wire.decode; its trace
+     context (if intact) becomes the ambient parent for the
+     [endpoint.handle] span, joining the server's work to the caller's
+     trace.  Envelope damage is reported exactly like payload damage —
+     a "decode:" Ack the client counts as request tampering. *)
+  let handle t ~now data =
+    let pub = System.public t.system in
+    match Envelope.unwrap data with
+    | exception Wire.Decode_error detail -> err t ("decode: " ^ detail)
+    | ctx, payload ->
+      Telemetry.with_context ctx @@ fun () ->
+      Telemetry.with_span ~name:"endpoint.handle" @@ fun () ->
+      handle_payload t ~now pub payload
 end
 
 module Da = struct

@@ -1,0 +1,69 @@
+(* Transport envelope: an *unsigned* trace-context field framed in
+   front of the Wire payload.
+
+   Layout:  flag byte 0x00                        -> bare payload
+            flag byte 0x01, 24-byte trace context,
+            1 XOR-fold checksum byte              -> traced payload
+
+   The context is observability metadata, not protocol input: it is
+   deliberately outside every signed/KDF'd message (no crypto change,
+   and a tampering adversary gains nothing by forging it).  Because
+   the channel can flip bits, the context carries its own checksum —
+   a corrupted context is *dropped* (counted in [trace.ctx.invalid])
+   while the payload goes on to Wire.decode untouched, so trace
+   damage can never turn into a protocol failure that signature
+   verification would not have caught anyway.  A mangled flag or a
+   truncated context raises [Codec.Decode_error] like any other
+   framing damage. *)
+
+module Telemetry = Sc_telemetry.Telemetry
+module Trace_context = Sc_telemetry.Trace_context
+
+let c_sent = Telemetry.counter "trace.ctx.sent"
+let c_received = Telemetry.counter "trace.ctx.received"
+let c_invalid = Telemetry.counter "trace.ctx.invalid"
+
+let xor_fold s =
+  let x = ref 0 in
+  String.iter (fun c -> x := !x lxor Char.code c) s;
+  Char.chr !x
+
+let header_bytes = 2 + Trace_context.ctx_bytes (* flag + ctx + checksum *)
+
+let wrap ?ctx payload =
+  match ctx with
+  | None -> "\x00" ^ payload
+  | Some ctx ->
+    let c = Trace_context.to_bytes ctx in
+    Telemetry.incr c_sent;
+    "\x01" ^ c ^ String.make 1 (xor_fold c) ^ payload
+
+let unwrap data =
+  if String.length data = 0 then
+    raise (Codec.Decode_error "empty envelope");
+  match data.[0] with
+  | '\x00' -> None, String.sub data 1 (String.length data - 1)
+  | '\x01' ->
+    if String.length data < header_bytes then
+      raise (Codec.Decode_error "truncated trace context");
+    let c = String.sub data 1 Trace_context.ctx_bytes in
+    let sum = data.[1 + Trace_context.ctx_bytes] in
+    let payload =
+      String.sub data header_bytes (String.length data - header_bytes)
+    in
+    let ctx =
+      if xor_fold c <> sum then begin
+        Telemetry.incr c_invalid;
+        None
+      end
+      else
+        match Trace_context.of_bytes c with
+        | Some ctx ->
+          Telemetry.incr c_received;
+          Some ctx
+        | None ->
+          Telemetry.incr c_invalid;
+          None
+    in
+    ctx, payload
+  | _ -> raise (Codec.Decode_error "invalid envelope flag")

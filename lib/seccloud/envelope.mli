@@ -1,0 +1,23 @@
+(** Transport envelope: an unsigned trace-context field framed in
+    front of every Wire payload.
+
+    The context rides outside all signed/KDF'd messages — it is
+    observability metadata a tamperer gains nothing by forging — and
+    carries its own XOR-fold checksum so channel bit-flips in the
+    context are *dropped* (counter [trace.ctx.invalid]) without
+    touching payload verification.  A mangled flag byte or truncated
+    context raises {!Codec.Decode_error} like any other framing
+    damage. *)
+
+val header_bytes : int
+(** Traced-envelope overhead: flag + context + checksum (26). *)
+
+val wrap : ?ctx:Sc_telemetry.Trace_context.t -> string -> string
+(** Frame a payload, optionally with a trace context. *)
+
+val unwrap : string -> Sc_telemetry.Trace_context.t option * string
+(** Split a framed message back into (context, payload).  The context
+    is [None] when absent or corrupted (checksum/shape mismatch —
+    counted, never fatal).
+    @raise Codec.Decode_error on an empty message, unknown flag byte
+    or truncated context. *)

@@ -1,4 +1,5 @@
 module Telemetry = Sc_telemetry.Telemetry
+module Labels = Sc_telemetry.Labels
 
 type faults = {
   drop : float;
@@ -73,6 +74,9 @@ let c_fault_dup = Telemetry.counter "transport.fault.duplicate"
 let c_fault_reorder = Telemetry.counter "transport.fault.reorder"
 let c_fault_tamper = Telemetry.counter "transport.fault.tamper"
 
+(* RPC outcomes by label — "ok" or the typed error name. *)
+let v_outcome = Labels.counter_vec ~label:"outcome" "transport.rpc.outcome"
+
 let create ?(faults = perfect) ?(policy = Retry.default) ?drbg
     ?(charge = fun ~bytes:_ -> 0.0) ?(now = 0.0) ?(peer = "peer") ~public
     ~handler () =
@@ -131,9 +135,17 @@ let deliver t data =
 
 (* One attempt: request out, handler, response back — any direction
    may lose or corrupt the bytes, and the response may be displaced
-   by a stale (duplicated, reordered) one. *)
-let attempt t msg =
-  let req = Wire.encode t.pub msg in
+   by a stale (duplicated, reordered) one.  Each attempt runs in its
+   own [transport.attempt] child span whose context rides the
+   envelope, so server-side spans attach to the attempt that carried
+   them and retries are distinguishable in the trace. *)
+let attempt t ~nth msg =
+  Telemetry.with_span ~name:"transport.attempt"
+    ~attrs:[ "attempt", string_of_int nth ]
+  @@ fun () ->
+  let req =
+    Envelope.wrap ?ctx:(Telemetry.current_context ()) (Wire.encode t.pub msg)
+  in
   match deliver t req with
   | None -> None
   | Some req_bytes ->
@@ -173,13 +185,19 @@ let call_gen t ~accept msg =
         t.clock <- t.clock +. Retry.backoff_delay t.policy ~attempt:(k - 1)
       end;
       Telemetry.incr c_attempts;
-      match attempt t msg with
+      match attempt t ~nth:k msg with
       | None ->
         (* Nothing arrived: wait out the attempt timeout and retry. *)
         t.clock <- t.clock +. t.policy.Retry.attempt_timeout_s;
         go (k + 1) last_err
       | Some resp_bytes -> (
-        match Wire.decode t.pub resp_bytes with
+        (* The response context (the server's own span) is not adopted
+           client-side — the client's rpc span is already the local
+           parent; unwrap only strips the framing. *)
+        match
+          let _ctx, payload = Envelope.unwrap resp_bytes in
+          Wire.decode t.pub payload
+        with
         | exception Wire.Decode_error _ ->
           Telemetry.incr c_tamper_detected;
           go (k + 1) Tampered
@@ -195,7 +213,13 @@ let call_gen t ~accept msg =
           end)
     end
   in
-  go 1 Timeout
+  let result = go 1 Timeout in
+  let outcome =
+    match result with Ok _ -> "ok" | Error e -> error_to_string e
+  in
+  Labels.incr v_outcome outcome;
+  Telemetry.add_attr "outcome" outcome;
+  result
 
 let call t ~expect msg =
   if not (List.mem expect Wire.kinds) then

@@ -8,6 +8,9 @@ let id t = t.id
 let key t = t.key
 
 let sign_file t ~cs_id ~file payloads =
+  Sc_telemetry.Telemetry.with_span ~name:"user.sign_file"
+    ~attrs:[ "blocks", string_of_int (List.length payloads) ]
+  @@ fun () ->
   Signer.sign_file (System.public t.system) t.key
     ~bytes_source:(System.bytes_source t.system)
     ~cs_id ~da_id:(System.da_id t.system) ~file payloads

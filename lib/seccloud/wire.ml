@@ -12,6 +12,7 @@ module Curve = Sc_ec.Curve
 module Tate = Sc_pairing.Tate
 
 module Telemetry = Sc_telemetry.Telemetry
+module Labels = Sc_telemetry.Labels
 
 exception Decode_error = Codec.Decode_error
 
@@ -46,12 +47,17 @@ let kinds =
   [ "upload"; "storage_challenge"; "storage_response"; "compute_request";
     "compute_commitment"; "audit_challenge"; "audit_response"; "ack" ]
 
+(* Per-kind accounting goes through the bounded-cardinality labeled
+   families [wire.{tx,rx}.{msgs,bytes}] with label [kind] — the cells
+   are resolved once here and held, so the per-event cost is a plain
+   counter bump. *)
 let counters_of prefix =
+  let msgs = Labels.counter_vec ~label:"kind" ("wire." ^ prefix ^ ".msgs") in
+  let bytes =
+    Labels.counter_vec ~label:"kind" ("wire." ^ prefix ^ ".kind_bytes")
+  in
   List.map
-    (fun kind ->
-      ( kind,
-        ( Telemetry.counter (Printf.sprintf "wire.%s.%s.msgs" prefix kind),
-          Telemetry.counter (Printf.sprintf "wire.%s.%s.bytes" prefix kind) ) ))
+    (fun kind -> kind, (Labels.counter msgs kind, Labels.counter bytes kind))
     kinds
 
 let tx_by_kind = counters_of "tx"

@@ -87,7 +87,19 @@ let sample_indices ~drbg ~universe ~count =
   done;
   Array.to_list (Array.sub arr 0 n)
 
+(* The whole campaign runs under one [sim.campaign] root span: every
+   epoch, audit and transport RPC (including server-side handler
+   spans, via the envelope context) shares its trace id, and the
+   campaign verdict is stamped on it as attributes so an SLO file can
+   assert e.g. [attr(sim.campaign.false_alarms) = 0] straight from
+   the trace. *)
 let run config =
+  Telemetry.with_span ~name:"sim.campaign"
+    ~attrs:
+      [ "seed", config.seed; "epochs", string_of_int config.epochs;
+        "servers", string_of_int config.n_servers;
+        "users", string_of_int config.n_users ]
+  @@ fun () ->
   let system =
     Seccloud.System.create ~params:config.params ~seed:config.seed
       ~cs_ids:(List.init config.n_servers (Printf.sprintf "cs-%d"))
@@ -332,19 +344,27 @@ let run config =
   let tally f = List.length (List.filter f outcomes) in
   let caught o = not (o.storage_ok && o.computation_ok) in
   let channel o = o.channel_timeout || o.channel_tampered in
-  {
-    outcomes;
-    sim_time = Event_queue.now queue;
-    total_bytes = Network.total_bytes net;
-    detected = tally (fun o -> o.server_cheats && caught o);
-    undetected = tally (fun o -> o.server_cheats && not (caught o));
-    false_alarms =
-      tally (fun o -> (not o.server_cheats) && caught o && not (channel o));
-    honest_passed = tally (fun o -> (not o.server_cheats) && not (caught o));
-    channel_timeouts = tally (fun o -> o.channel_timeout);
-    channel_tampering = tally (fun o -> o.channel_tampered);
-    records = List.rev !records;
-  }
+  let stats =
+    {
+      outcomes;
+      sim_time = Event_queue.now queue;
+      total_bytes = Network.total_bytes net;
+      detected = tally (fun o -> o.server_cheats && caught o);
+      undetected = tally (fun o -> o.server_cheats && not (caught o));
+      false_alarms =
+        tally (fun o -> (not o.server_cheats) && caught o && not (channel o));
+      honest_passed = tally (fun o -> (not o.server_cheats) && not (caught o));
+      channel_timeouts = tally (fun o -> o.channel_timeout);
+      channel_tampering = tally (fun o -> o.channel_tampered);
+      records = List.rev !records;
+    }
+  in
+  Telemetry.add_attr "audits" (string_of_int (List.length outcomes));
+  Telemetry.add_attr "detected" (string_of_int stats.detected);
+  Telemetry.add_attr "undetected" (string_of_int stats.undetected);
+  Telemetry.add_attr "false_alarms" (string_of_int stats.false_alarms);
+  Telemetry.add_attr "channel_timeouts" (string_of_int stats.channel_timeouts);
+  stats
 
 let detection_rate stats =
   let total = stats.detected + stats.undetected in

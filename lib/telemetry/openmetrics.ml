@@ -1,0 +1,94 @@
+(* OpenMetrics text exposition of the registry snapshot.
+
+   Metric names are the registry's dotted names with dots mapped to
+   underscores; labeled cells created by [Labels]
+   ([family{label="value"}]) are split back into family + label pairs
+   so one family renders as one TYPE block with per-cell sample lines.
+   Counters follow the OpenMetrics convention of a [_total] sample
+   suffix; histograms render cumulative [_bucket{le=...}] plus [_sum]
+   and [_count].  Gauges map to gauges. *)
+
+let sanitize_name s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    s
+
+(* "family{kind=\"upload\"}" -> ("family", Some "kind=\"upload\"") *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> name, None
+  | Some i when String.length name > 0 && name.[String.length name - 1] = '}'
+    ->
+    ( String.sub name 0 i,
+      Some (String.sub name (i + 1) (String.length name - i - 2)) )
+  | Some _ -> name, None
+
+let num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let with_labels labels extra =
+  match labels, extra with
+  | None, None -> ""
+  | Some l, None -> "{" ^ l ^ "}"
+  | None, Some e -> "{" ^ e ^ "}"
+  | Some l, Some e -> "{" ^ l ^ "," ^ e ^ "}"
+
+let render_metric buf ~family ~labels (v : Registry.value_snapshot) =
+  let m = sanitize_name family in
+  match v with
+  | Registry.Counter c ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s_total%s %d\n" m (with_labels labels None) c)
+  | Registry.Gauge g ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %s\n" m (with_labels labels None) (num g))
+  | Registry.Histogram h ->
+    let cum = ref 0 in
+    Array.iteri
+      (fun i n ->
+        cum := !cum + n;
+        let le =
+          if i < Array.length h.Registry.bounds then
+            num h.Registry.bounds.(i)
+          else "+Inf"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" m
+             (with_labels labels (Some (Printf.sprintf "le=\"%s\"" le)))
+             !cum))
+      h.Registry.counts;
+    Buffer.add_string buf
+      (Printf.sprintf "%s_sum%s %s\n" m (with_labels labels None)
+         (num h.Registry.sum));
+    Buffer.add_string buf
+      (Printf.sprintf "%s_count%s %d\n" m
+         (with_labels labels None)
+         h.Registry.count)
+
+let kind_of = function
+  | Registry.Counter _ -> "counter"
+  | Registry.Gauge _ -> "gauge"
+  | Registry.Histogram _ -> "histogram"
+
+let render () =
+  let buf = Buffer.create 4096 in
+  let typed = Hashtbl.create 64 in
+  (* snapshot is sorted by full name, so a family's cells are
+     adjacent: the TYPE line is emitted at the first cell only. *)
+  List.iter
+    (fun (name, v) ->
+      let family, labels = split_labels name in
+      let m = sanitize_name family in
+      if not (Hashtbl.mem typed m) then begin
+        Hashtbl.add typed m ();
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" m (kind_of v))
+      end;
+      render_metric buf ~family ~labels v)
+    (Registry.snapshot ());
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

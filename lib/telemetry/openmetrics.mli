@@ -1,0 +1,9 @@
+(** OpenMetrics text exposition of the current registry snapshot.
+
+    Dotted registry names become underscore-separated metric names;
+    [Labels] cells ([family{label="value"}]) render as one family with
+    per-cell label sets.  Counters gain the [_total] sample suffix,
+    histograms render cumulative [_bucket{le=...}]/[_sum]/[_count].
+    The output ends with [# EOF] per the OpenMetrics ABNF. *)
+
+val render : unit -> string

@@ -123,11 +123,23 @@ let gauge_value g =
 let gauge_name g = g.gname
 
 (* First bucket whose upper bound admits v; the trailing bucket
-   catches everything above the last bound. *)
+   catches everything above the last bound.  Binary search: the
+   HDR-style log buckets (Hdr.default_bounds) have ~240 bounds, so a
+   linear scan on the observe fast path would cost more than the
+   locked update itself. *)
 let bucket_index bounds v =
   let n = Array.length bounds in
-  let rec find i = if i >= n || v <= bounds.(i) then i else find (i + 1) in
-  find 0
+  if n = 0 || v <= bounds.(0) then 0
+  else if v > bounds.(n - 1) then n
+  else begin
+    (* invariant: bounds.(lo) < v <= bounds.(hi) *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid
+    done;
+    !hi
+  end
 
 let observe h v =
   let i = bucket_index h.bounds v in
@@ -138,6 +150,13 @@ let observe h v =
   Mutex.unlock lock
 
 let histogram_name h = h.hname
+
+let reset_histogram h =
+  Mutex.lock lock;
+  Array.fill h.counts 0 (Array.length h.counts) 0;
+  h.sum <- 0.0;
+  h.n <- 0;
+  Mutex.unlock lock
 
 (* --- snapshots ---------------------------------------------------- *)
 
@@ -152,6 +171,42 @@ type value_snapshot =
   | Counter of int
   | Gauge of float
   | Histogram of hist_snapshot
+
+(* Nearest-rank quantile over a bucketed snapshot.  The rank-th
+   smallest observation lies in the first bucket whose cumulative
+   count reaches the rank; its value is estimated as the geometric
+   midpoint of that bucket.  With geometric bucket bounds of ratio r
+   (Hdr buckets) the estimate is within sqrt(r) - 1 relative error of
+   the exact sample quantile, provided the observation is neither
+   below the first bound's implied lower edge nor in the overflow
+   bucket (those clamp to the nearest bound). *)
+let quantile (s : hist_snapshot) p =
+  if s.count = 0 then Float.nan
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    let rank =
+      let r = int_of_float (Float.ceil (p *. float_of_int s.count)) in
+      if r < 1 then 1 else if r > s.count then s.count else r
+    in
+    let nb = Array.length s.bounds in
+    let i = ref 0 and cum = ref s.counts.(0) in
+    while !cum < rank do
+      i := !i + 1;
+      cum := !cum + s.counts.(!i)
+    done;
+    let i = !i in
+    if i >= nb then (if nb = 0 then s.sum /. float_of_int s.count else s.bounds.(nb - 1))
+    else
+      let hi = s.bounds.(i) in
+      let lo =
+        if i > 0 then s.bounds.(i - 1)
+        else if nb > 1 && s.bounds.(0) > 0.0 then
+          (* implied lower edge: extend the bucket ratio downwards *)
+          s.bounds.(0) *. s.bounds.(0) /. s.bounds.(1)
+        else hi
+      in
+      if lo > 0.0 && hi > lo then Float.sqrt (lo *. hi) else hi
+  end
 
 let snapshot_histogram (h : histogram) =
   { bounds = Array.copy h.bounds; counts = Array.copy h.counts;
@@ -210,9 +265,18 @@ let json_of_value = function
           in
           Json.obj [ "le", le; "n", Json.int h.counts.(i) ])
     in
+    let quantiles =
+      if h.count = 0 then []
+      else
+        [ "p50", Json.float (quantile h 0.50);
+          "p90", Json.float (quantile h 0.90);
+          "p99", Json.float (quantile h 0.99);
+          "p999", Json.float (quantile h 0.999) ]
+    in
     Json.obj
-      [ "count", Json.int h.count; "sum", Json.float h.sum;
-        "buckets", Json.arr buckets ]
+      ([ "count", Json.int h.count; "sum", Json.float h.sum ]
+      @ quantiles
+      @ [ "buckets", Json.arr buckets ])
 
 let dump_json () =
   Json.obj
@@ -227,17 +291,9 @@ let pp_value = function
     if h.count = 0 then "hist n=0"
     else
       let mean = h.sum /. float_of_int h.count in
-      let buckets =
-        String.concat " "
-          (List.filteri
-             (fun _ s -> s <> "")
-             (List.init (Array.length h.counts) (fun i ->
-                  if h.counts.(i) = 0 then ""
-                  else if i < Array.length h.bounds then
-                    Printf.sprintf "le%g:%d" h.bounds.(i) h.counts.(i)
-                  else Printf.sprintf "inf:%d" h.counts.(i))))
-      in
-      Printf.sprintf "hist n=%d mean=%.1f [%s]" h.count mean buckets
+      Printf.sprintf "hist n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f p999=%.1f"
+        h.count mean (quantile h 0.50) (quantile h 0.90) (quantile h 0.99)
+        (quantile h 0.999)
 
 let print_tree oc =
   let rec common_prefix a b i =

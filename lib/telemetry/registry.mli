@@ -40,6 +40,8 @@ val gauge_name : gauge -> string
 
 val observe : histogram -> float -> unit
 val histogram_name : histogram -> string
+val reset_histogram : histogram -> unit
+(** Zero one histogram's buckets/sum/count (the registration stays). *)
 
 (** {2 Snapshots} — deep copies, isolated from later updates. *)
 
@@ -54,6 +56,14 @@ type value_snapshot =
   | Counter of int
   | Gauge of float
   | Histogram of hist_snapshot
+
+val quantile : hist_snapshot -> float -> float
+(** [quantile s p] estimates the [p]-quantile (nearest-rank) of the
+    observations in [s] as the geometric midpoint of the bucket
+    holding that rank.  With geometric bounds of ratio [r] (see
+    {!Hdr}) the estimate is within [sqrt r - 1] relative error of the
+    exact sample quantile for in-range observations; overflow/
+    underflow clamp to the outermost bound.  [nan] when empty. *)
 
 val snapshot : unit -> (string * value_snapshot) list
 (** All registered metrics, sorted by name. *)

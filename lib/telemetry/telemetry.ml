@@ -37,11 +37,21 @@ let reset = Registry.reset
 let dump_json = Registry.dump_json
 let print_tree = Registry.print_tree
 
+let quantile = Registry.quantile
+let log_buckets () = Hdr.default_bounds ()
+
 let with_span = Span.with_span
 let set_sink = Span.set_sink
 let with_trace_channel = Span.with_trace_channel
 let with_trace_file = Span.with_trace_file
 let current_depth = Span.current_depth
+let open_spans = Span.open_spans
+let add_attr = Span.add_attr
+
+type trace_context = Trace_context.t = { trace : string; span : int }
+
+let current_context = Span.current_context
+let with_context = Trace_context.with_remote
 
 let now_ns = Clock.now_ns
 let elapsed_ns = Clock.elapsed_ns

@@ -54,11 +54,36 @@ val reset : unit -> unit
 val dump_json : unit -> string
 val print_tree : out_channel -> unit
 
+val quantile : hist_snapshot -> float -> float
+(** See {!Registry.quantile} — nearest-rank bucket quantile, within
+    {!Hdr.relative_error} for HDR-bucketed histograms. *)
+
+val log_buckets : unit -> float array
+(** {!Hdr.default_bounds} — the span-default HDR log buckets. *)
+
 val with_span : ?attrs:(string * string) list -> name:string -> (unit -> 'a) -> 'a
 val set_sink : (string -> unit) option -> unit
 val with_trace_channel : out_channel -> (unit -> 'a) -> 'a
 val with_trace_file : string -> (unit -> 'a) -> 'a
 val current_depth : unit -> int
+
+val open_spans : unit -> int
+(** Spans currently open across all domains (leak detector). *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span of this domain. *)
+
+(** {2 Trace context} — see {!Trace_context} and {!Span}. *)
+
+type trace_context = Trace_context.t = { trace : string; span : int }
+
+val current_context : unit -> trace_context option
+(** Identity of the innermost open span (or the ambient remote
+    context), for propagation to workers and RPC peers. *)
+
+val with_context : trace_context option -> (unit -> 'a) -> 'a
+(** Install a remote parent context: root spans opened inside the
+    thunk join that trace instead of minting their own. *)
 
 val now_ns : unit -> int64
 val elapsed_ns : int64 -> int64

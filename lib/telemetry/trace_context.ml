@@ -1,0 +1,91 @@
+(* Distributed-trace identity: a 128-bit trace id plus the span id of
+   the propagating parent.  The pair crosses domain and transport
+   boundaries so every span of one logical request lands in one trace
+   tree.
+
+   Trace ids are drawn from an atomic counter fed through a 64-bit
+   finalizer (murmur3 fmix64), not from a wall clock or [Random]: ids
+   are unique within the process and deterministic across runs, which
+   keeps seeded simulation campaigns byte-for-byte reproducible.  The
+   mixer is a bijection on non-zero inputs, so an all-zero id (the
+   reserved "invalid" value) can never be produced.
+
+   The ambient *remote* context is domain-local state (Domain.DLS): a
+   worker domain or an RPC server installs the caller's context with
+   [with_remote] and any span opened with an empty local stack adopts
+   it as parent. *)
+
+type t = { trace : string; (* exactly [trace_bytes] raw bytes *) span : int }
+
+let trace_bytes = 16
+let ctx_bytes = trace_bytes + 8
+
+(* murmur3 fmix64: bijective on int64, avalanches a sequential
+   counter into uniform-looking bits. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let put64 b off v =
+  for i = 0 to 7 do
+    Bytes.set b (off + i)
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (56 - (8 * i))) land 0xff))
+  done
+
+let get64 s off =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + i]))
+  done;
+  !v
+
+let seq = Atomic.make 0
+
+let fresh_trace () =
+  let n = Atomic.fetch_and_add seq 1 in
+  (* Inputs 2n+1 and 2n+2 are never zero, so neither word is zero. *)
+  let b = Bytes.create trace_bytes in
+  put64 b 0 (mix64 (Int64.of_int ((2 * n) + 1)));
+  put64 b 8 (mix64 (Int64.of_int ((2 * n) + 2)));
+  Bytes.unsafe_to_string b
+
+let zero_trace = String.make trace_bytes '\x00'
+let is_valid_trace s = String.length s = trace_bytes && s <> zero_trace
+
+let to_hex s =
+  String.concat "" (List.init (String.length s) (fun i ->
+      Printf.sprintf "%02x" (Char.code s.[i])))
+
+(* --- ambient remote context (per domain) -------------------------- *)
+
+let remote_key = Domain.DLS.new_key (fun () -> ref (None : t option))
+
+let current () = !(Domain.DLS.get remote_key)
+
+let with_remote ctx f =
+  let cell = Domain.DLS.get remote_key in
+  let prev = !cell in
+  cell := ctx;
+  Fun.protect ~finally:(fun () -> cell := prev) f
+
+(* --- wire form ---------------------------------------------------- *)
+
+let to_bytes t =
+  let b = Bytes.create ctx_bytes in
+  Bytes.blit_string t.trace 0 b 0 trace_bytes;
+  put64 b trace_bytes (Int64.of_int t.span);
+  Bytes.unsafe_to_string b
+
+let of_bytes s =
+  if String.length s <> ctx_bytes then None
+  else
+    let trace = String.sub s 0 trace_bytes in
+    if not (is_valid_trace trace) then None
+    else
+      let span64 = get64 s trace_bytes in
+      if Int64.compare span64 0L < 0
+         || Int64.compare span64 (Int64.of_int max_int) > 0
+      then None
+      else Some { trace; span = Int64.to_int span64 }

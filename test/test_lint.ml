@@ -167,6 +167,44 @@ let naive_scalar_mul =
       "let bits k = List.init (Nat.bit_length k) (Nat.test_bit k)\n";
   ]
 
+let dynamic_metric_name =
+  [
+    case "computed counter name is flagged informational" (fun () ->
+        let fs =
+          lint_lib
+            "let c_for peer = Telemetry.counter (\"rpc.\" ^ peer ^ \".calls\")\n"
+        in
+        let f =
+          List.find (fun f -> f.Finding.rule = "dynamic-metric-name") fs
+        in
+        check Alcotest.bool "info severity" true
+          (f.Finding.severity = Finding.Info));
+    case "computed with_span ~name: is flagged" (fun () ->
+        let fs =
+          lint_lib
+            "let traced n f = Telemetry.with_span ~name:(\"op.\" ^ n) f\n"
+        in
+        check Alcotest.bool "flagged" true (has_rule "dynamic-metric-name" fs));
+    case "lib/telemetry itself is exempt" (fun () ->
+        let fs =
+          Engine.lint_source
+            {
+              Engine.rel = "lib/telemetry/fixture.ml";
+              content =
+                "let h_for sp = Registry.histogram (\"span.\" ^ sp.name)\n";
+              has_mli = true;
+            }
+        in
+        check Alcotest.bool "not flagged" false
+          (has_rule "dynamic-metric-name" fs));
+    no_findings "literal metric names are the sanctioned shape"
+      "let c = Telemetry.counter \"audit.rounds\"\n\
+       let traced f = Telemetry.with_span ~name:\"audit.verify\" f\n";
+    no_findings "per-key fan-out through a labeled family is sanctioned"
+      "let v = Labels.counter_vec ~label:\"kind\" \"wire.tx.msgs\"\n\
+       let cell k = Labels.counter v k\n";
+  ]
+
 let infra =
   [
     case "lib module without .mli yields an informational finding" (fun () ->
@@ -266,4 +304,5 @@ let self_lint =
 
 let suite =
   domain_safety @ signing_encode @ determinism @ secret_flow
-  @ exception_discipline @ naive_scalar_mul @ infra @ waivers @ self_lint
+  @ exception_discipline @ naive_scalar_mul @ dynamic_metric_name @ infra
+  @ waivers @ self_lint

@@ -116,6 +116,43 @@ let telemetry_tests =
               (fun _ -> Telemetry.incr c)
               (List.init 50_000 Fun.id);
             check Alcotest.int "exact" 50_000 (Telemetry.value c)));
+    case "worker spans join the submitting span's trace" (fun () ->
+        with_domains 4 (fun () ->
+            let lines = ref [] in
+            let lock = Mutex.create () in
+            Telemetry.set_sink
+              (Some
+                 (fun l ->
+                   Mutex.lock lock;
+                   lines := l :: !lines;
+                   Mutex.unlock lock));
+            Fun.protect
+              ~finally:(fun () -> Telemetry.set_sink None)
+              (fun () ->
+                Telemetry.with_span ~name:"fanout.root" (fun () ->
+                    Sc_parallel.parallel_iter ~min_chunk:1
+                      (fun _ ->
+                        Telemetry.with_span ~name:"fanout.task" Fun.id)
+                      (List.init 64 Fun.id)));
+            let spans =
+              List.filter_map Sc_telemetry.Trace_analysis.span_of_line !lines
+            in
+            let module A = Sc_telemetry.Trace_analysis in
+            let root =
+              List.find (fun (s : A.span) -> s.A.name = "fanout.root") spans
+            in
+            let tasks =
+              List.filter (fun (s : A.span) -> s.A.name = "fanout.task") spans
+            in
+            check Alcotest.int "all tasks emitted" 64 (List.length tasks);
+            List.iter
+              (fun (s : A.span) ->
+                check Alcotest.string "task joins root trace" root.A.trace
+                  s.A.trace;
+                check Alcotest.(option int) "task parented on root"
+                  (Some root.A.id) s.A.parent)
+              tasks;
+            check Alcotest.int "no spans left open" 0 (Telemetry.open_spans ())));
   ]
 
 (* 1-domain vs N-domain value identity of the rewired hot paths. *)

@@ -285,6 +285,78 @@ let engine_tests =
         check Alcotest.int "same bytes" a.Engine.total_bytes b.Engine.total_bytes);
   ]
 
+(* --- distributed-trace reconstruction over a faulted campaign --------
+
+   A lossy multi-domain campaign is the adversarial case for trace
+   integrity: retries fork child attempts, the audit fan-out crosses
+   the domain pool, and every one of those spans must still land in
+   the campaign root's trace with its parent present. *)
+
+let trace_tests =
+  let open Util in
+  let module Telemetry = Sc_telemetry.Telemetry in
+  let module A = Sc_telemetry.Trace_analysis in
+  let spans_of_campaign seed =
+    let saved = Sc_parallel.domain_count () in
+    Sc_parallel.set_domain_count 4;
+    let lines = ref [] in
+    let lock = Mutex.create () in
+    Telemetry.set_sink
+      (Some
+         (fun l ->
+           Mutex.lock lock;
+           lines := l :: !lines;
+           Mutex.unlock lock));
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.set_sink None;
+        Sc_parallel.set_domain_count saved)
+      (fun () ->
+        ignore
+          (Engine.run
+             {
+               Engine.default_config with
+               Engine.seed;
+               epochs = 2;
+               faults = Seccloud.Transport.lossy ~drop:0.05 ();
+             }));
+    List.map
+      (fun l ->
+        match A.span_of_line l with
+        | Some s -> s
+        | None -> Alcotest.failf "unparsable trace line: %s" l)
+      !lines
+  in
+  [
+    qcheck ~count:4
+      "faulted multi-domain campaign reconstructs to one rooted trace"
+      QCheck2.Gen.(int_bound 1_000)
+      (fun n ->
+        let spans = spans_of_campaign (Printf.sprintf "trace-fuzz-%d" n) in
+        let report = A.analyze spans in
+        let by_id = Hashtbl.create 256 in
+        List.iter (fun (s : A.span) -> Hashtbl.replace by_id s.A.id s) spans;
+        let parent_name (s : A.span) =
+          Option.bind s.A.parent (fun p ->
+              Option.map (fun (q : A.span) -> q.A.name)
+                (Hashtbl.find_opt by_id p))
+        in
+        (* One campaign, one trace, no orphaned parents: every span of
+           the run shares the root's trace id. *)
+        report.A.traces = 1
+        && report.A.roots = 1
+        && report.A.orphans = 0
+        && report.A.rpc_campaign_coverage = 1.0
+        && report.A.rpc_spans > 0
+        (* Retries are attempt children of their rpc span, never new
+           roots. *)
+        && List.for_all
+             (fun (s : A.span) ->
+               s.A.name <> "transport.attempt"
+               || parent_name s = Some "transport.rpc")
+             spans);
+  ]
+
 let suite =
   event_queue_tests @ network_tests @ adversary_tests @ montecarlo_tests
-  @ montecarlo_conformance_tests @ engine_tests
+  @ montecarlo_conformance_tests @ engine_tests @ trace_tests

@@ -232,4 +232,259 @@ let e2e =
         check Alcotest.int "total = single + multi + affine" total parts);
   ]
 
-let suite = counters @ histograms @ spans @ e2e
+(* ------------------------------------------------------------------ *)
+(* HDR quantiles: the log-bucketed estimator must stay within the
+   documented 5% relative error of the exact nearest-rank quantile.   *)
+(* ------------------------------------------------------------------ *)
+
+let exact_quantile sorted p =
+  let n = Array.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (p *. float_of_int n)))) in
+  sorted.(rank - 1)
+
+let quantiles =
+  let module Registry = Sc_telemetry.Registry in
+  let module Gen = QCheck2.Gen in
+  let h = Telemetry.histogram ~buckets:(Telemetry.log_buckets ()) "test.hdr" in
+  (* Log-uniform samples clear of the first bucket's implied lower
+     edge and of the overflow clamp. *)
+  let gen_samples =
+    Gen.(list_size (int_range 1 300) (map (fun x -> 10. ** x) (float_range (-1.8) 6.0)))
+  in
+  [
+    case "quantile of an empty histogram is NaN-free zero count" (fun () ->
+        Registry.reset_histogram h;
+        match Telemetry.find "test.hdr" with
+        | Some (Telemetry.Histogram s) ->
+          check Alcotest.int "empty" 0 s.Telemetry.count
+        | _ -> Alcotest.fail "histogram missing");
+    Util.qcheck ~count:150
+      "hdr quantile is within 5% of the exact nearest-rank quantile"
+      QCheck2.Gen.(pair gen_samples (float_range 0.01 0.999))
+      (fun (samples, p) ->
+        Registry.reset_histogram h;
+        List.iter (Telemetry.observe h) samples;
+        let sorted = Array.of_list samples in
+        Array.sort compare sorted;
+        let exact = exact_quantile sorted p in
+        let est =
+          match Telemetry.find "test.hdr" with
+          | Some (Telemetry.Histogram s) -> Telemetry.quantile s p
+          | _ -> nan
+        in
+        Float.abs (est -. exact) <= (0.0501 *. exact) +. 1e-9);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Labeled families: bounded cardinality, sanitization, canonical
+   registry cell names.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let labels =
+  let module Labels = Sc_telemetry.Labels in
+  [
+    case "cells intern under family{label=\"value\"}" (fun () ->
+        let v = Labels.counter_vec ~label:"kind" "test.labels.basic" in
+        Labels.incr v "upload";
+        Labels.add v "upload" 2;
+        Labels.incr v "ack";
+        check Alcotest.int "upload cell" 3
+          (Telemetry.counter_value "test.labels.basic{kind=\"upload\"}");
+        check Alcotest.int "ack cell" 1
+          (Telemetry.counter_value "test.labels.basic{kind=\"ack\"}");
+        check Alcotest.int "cardinality" 2 (Labels.cardinality v));
+    case "cardinality bound spills to the shared other cell" (fun () ->
+        let v =
+          Labels.counter_vec ~max_cells:4 ~label:"k" "test.labels.bounded"
+        in
+        for i = 1 to 10 do
+          Labels.incr v (Printf.sprintf "v%d" i)
+        done;
+        check Alcotest.int "cardinality capped" 4 (Labels.cardinality v);
+        check Alcotest.int "overflow cell absorbs the rest" 6
+          (Telemetry.counter_value "test.labels.bounded{k=\"other\"}");
+        check Alcotest.bool "overflow counter bumped" true
+          (Telemetry.counter_value "telemetry.labels.overflow" >= 6));
+    case "hostile label values are sanitized" (fun () ->
+        let v = Labels.counter_vec ~label:"k" "test.labels.sane" in
+        Labels.incr v "we ird\"}\n";
+        check Alcotest.int "quoted metacharacters neutralized" 1
+          (Telemetry.counter_value "test.labels.sane{k=\"we_ird___\"}"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                             *)
+(* ------------------------------------------------------------------ *)
+
+let openmetrics =
+  let module Labels = Sc_telemetry.Labels in
+  [
+    case "render emits typed families, cumulative buckets and EOF" (fun () ->
+        Telemetry.reset ();
+        let c = Telemetry.counter "test.om.events" in
+        Telemetry.add c 5;
+        let v = Labels.counter_vec ~label:"kind" "test.om.byk" in
+        Labels.incr v "a";
+        Labels.incr v "b";
+        let h =
+          Telemetry.histogram ~buckets:[| 1.0; 10.0 |] "test.om.lat"
+        in
+        Telemetry.observe h 0.5;
+        Telemetry.observe h 5.0;
+        let text = Sc_telemetry.Openmetrics.render () in
+        let has s =
+          let sl = String.length s and tl = String.length text in
+          let rec go i = i + sl <= tl && (String.sub text i sl = s || go (i + 1)) in
+          check Alcotest.bool (Printf.sprintf "contains %S" s) true (go 0)
+        in
+        has "# TYPE test_om_events counter";
+        has "test_om_events_total 5";
+        has "test_om_byk_total{kind=\"a\"} 1";
+        has "test_om_byk_total{kind=\"b\"} 1";
+        has "# TYPE test_om_lat histogram";
+        has "test_om_lat_bucket{le=\"1\"} 1";
+        has "test_om_lat_bucket{le=\"+Inf\"} 2";
+        has "test_om_lat_count 2";
+        let rec last_line i =
+          if i <= 0 then text
+          else if text.[i - 1] = '\n' then String.sub text i (String.length text - i)
+          else last_line (i - 1)
+        in
+        let trimmed = String.trim text in
+        let _ = last_line in
+        check Alcotest.bool "ends with EOF" true
+          (String.length trimmed >= 5
+          && String.sub trimmed (String.length trimmed - 5) 5 = "# EOF"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracing: error tagging, open-span accounting, attrs, contexts      *)
+(* ------------------------------------------------------------------ *)
+
+let tracing =
+  [
+    case "exception tags the span error=1, bumps errors counter, re-raises"
+      (fun () ->
+        Telemetry.reset ();
+        let lines = ref [] in
+        Telemetry.set_sink (Some (fun l -> lines := l :: !lines));
+        Fun.protect
+          ~finally:(fun () -> Telemetry.set_sink None)
+          (fun () ->
+            (try
+               Telemetry.with_span ~name:"failing" (fun () ->
+                   failwith "kaboom")
+             with Failure _ -> ()));
+        check Alcotest.int "errors counter" 1
+          (Telemetry.counter_value "span.failing.errors");
+        check Alcotest.int "open spans drained" 0 (Telemetry.open_spans ());
+        match !lines with
+        | [ line ] ->
+          check Alcotest.bool "error attr emitted" true
+            (match field line "attrs" with
+            | Some attrs ->
+              let m = {|"error":"1"|} in
+              let ml = String.length m in
+              let rec go i =
+                i + ml <= String.length attrs
+                && (String.sub attrs i ml = m || go (i + 1))
+              in
+              go 0
+            | None -> false)
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+    case "open_spans counts live spans across nesting" (fun () ->
+        check Alcotest.int "none open" 0 (Telemetry.open_spans ());
+        Telemetry.with_span ~name:"a" (fun () ->
+            Telemetry.with_span ~name:"b" (fun () ->
+                check Alcotest.int "two open" 2 (Telemetry.open_spans ())));
+        check Alcotest.int "drained" 0 (Telemetry.open_spans ()));
+    case "add_attr lands on the innermost open span" (fun () ->
+        let lines = ref [] in
+        Telemetry.set_sink (Some (fun l -> lines := l :: !lines));
+        Fun.protect
+          ~finally:(fun () -> Telemetry.set_sink None)
+          (fun () ->
+            Telemetry.with_span ~name:"outcomey" (fun () ->
+                Telemetry.add_attr "outcome" "ok"));
+        match !lines with
+        | [ line ] ->
+          check Alcotest.(option string) "attr present"
+            (Some {|{"outcome":"ok"}|}) (field line "attrs")
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+    case "nested spans share one trace id; siblings of one request too"
+      (fun () ->
+        let lines = ref [] in
+        Telemetry.set_sink (Some (fun l -> lines := l :: !lines));
+        Fun.protect
+          ~finally:(fun () -> Telemetry.set_sink None)
+          (fun () ->
+            Telemetry.with_span ~name:"root" (fun () ->
+                Telemetry.with_span ~name:"kid1" (fun () -> ());
+                Telemetry.with_span ~name:"kid2" (fun () -> ())));
+        match List.filter_map (fun l -> field l "trace") !lines with
+        | [ t1; t2; t3 ] ->
+          check Alcotest.string "kid1 = root" t3 t1;
+          check Alcotest.string "kid2 = root" t3 t2
+        | _ -> Alcotest.fail "expected 3 traced lines");
+    case "with_context grafts a root span onto a remote trace" (fun () ->
+        let ctx =
+          {
+            Telemetry.trace = Sc_telemetry.Trace_context.fresh_trace ();
+            span = 424242;
+          }
+        in
+        let lines = ref [] in
+        Telemetry.set_sink (Some (fun l -> lines := l :: !lines));
+        Fun.protect
+          ~finally:(fun () -> Telemetry.set_sink None)
+          (fun () ->
+            Telemetry.with_context (Some ctx) (fun () ->
+                Telemetry.with_span ~name:"grafted" (fun () -> ())));
+        match !lines with
+        | [ line ] ->
+          check Alcotest.(option string) "remote trace id"
+            (Some
+               (Printf.sprintf "%S"
+                  (Sc_telemetry.Trace_context.to_hex ctx.Telemetry.trace)))
+            (field line "trace");
+          check Alcotest.(option string) "remote parent span"
+            (Some "424242") (field line "parent")
+        | ls -> Alcotest.failf "expected 1 line, got %d" (List.length ls));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The JSON reader used by the trace analyzer                          *)
+(* ------------------------------------------------------------------ *)
+
+let json_parser =
+  let module Json = Sc_telemetry.Json in
+  [
+    case "parses an emitted span line back structurally" (fun () ->
+        let line =
+          {|{"name":"x","id":7,"parent":null,"depth":0,"trace":"ab12",|}
+          ^ {|"start_us":1.5,"dur_us":2.25,"attrs":{"k":"v"}}|}
+        in
+        match Json.parse line with
+        | Some (Json.Object fields) ->
+          check Alcotest.(option string) "name" (Some "x")
+            (Json.to_string (List.assoc_opt "name" fields));
+          check
+            Alcotest.(option (float 1e-9))
+            "dur" (Some 2.25)
+            (Json.to_float (List.assoc_opt "dur_us" fields));
+          check Alcotest.bool "parent is null" true
+            (List.assoc_opt "parent" fields = Some Json.Null);
+          (match List.assoc_opt "attrs" fields with
+          | Some (Json.Object [ ("k", Json.String "v") ]) -> ()
+          | _ -> Alcotest.fail "attrs wrong")
+        | _ -> Alcotest.fail "parse failed");
+    case "malformed lines parse to None, never raise" (fun () ->
+        List.iter
+          (fun s ->
+            check Alcotest.bool s true (Json.parse s = None))
+          [ "{"; "{\"a\":}"; "[1,"; "\"unterminated"; "{\"a\":1,}"; "nope" ]);
+  ]
+
+let suite =
+  counters @ histograms @ spans @ quantiles @ labels @ openmetrics @ tracing
+  @ json_parser @ e2e

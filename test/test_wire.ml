@@ -257,13 +257,20 @@ let endpoint_tests =
   let numeric_payloads n =
     List.init n (fun i -> Sc_storage.Block.encode_ints [ i; 2 * i; 3 * i ])
   in
+  (* Requests and replies are envelope-framed on the wire; wrap the
+     request and strip the reply envelope before decoding. *)
+  let call_direct server ~now p msg =
+    let reply =
+      E.Server.handle server ~now
+        (Seccloud.Envelope.wrap (Seccloud.Wire.encode p msg))
+    in
+    let _ctx, payload = Seccloud.Envelope.unwrap reply in
+    Seccloud.Wire.decode p payload
+  in
   let upload_via_wire sys user server =
     let p = Seccloud.System.public sys in
     let upload = Seccloud.User.sign_file user ~cs_id:"cs" ~file:"ef" (numeric_payloads 8) in
-    let reply =
-      E.Server.handle server ~now:0.0 (Seccloud.Wire.encode p (Wire.Upload upload))
-    in
-    match Seccloud.Wire.decode p reply with
+    match call_direct server ~now:0.0 p (Wire.Upload upload) with
     | Wire.Ack { ok; _ } -> ok
     | _ -> false
   in
@@ -292,13 +299,11 @@ let endpoint_tests =
         let service =
           List.init 6 (fun i -> { Task.func = Task.Sum; position = i })
         in
-        let reply =
-          E.Server.handle server ~now:2.0
-            (Seccloud.Wire.encode p
-               (Wire.Compute_request { owner = "alice"; file = "ef"; service }))
-        in
         let commitment =
-          match Seccloud.Wire.decode p reply with
+          match
+            call_direct server ~now:2.0 p
+              (Wire.Compute_request { owner = "alice"; file = "ef"; service })
+          with
           | Wire.Compute_commitment { commitment; _ } -> commitment
           | _ -> Alcotest.fail "expected commitment"
         in
@@ -319,13 +324,11 @@ let endpoint_tests =
         let service =
           List.init 6 (fun i -> { Task.func = Task.Sum; position = i })
         in
-        let reply =
-          E.Server.handle server ~now:2.0
-            (Seccloud.Wire.encode p
-               (Wire.Compute_request { owner = "alice"; file = "ef"; service }))
-        in
         let commitment =
-          match Seccloud.Wire.decode p reply with
+          match
+            call_direct server ~now:2.0 p
+              (Wire.Compute_request { owner = "alice"; file = "ef"; service })
+          with
           | Wire.Compute_commitment { commitment; _ } -> commitment
           | _ -> Alcotest.fail "expected commitment"
         in
@@ -340,7 +343,9 @@ let endpoint_tests =
     case "server answers garbage bytes with an error Ack" (fun () ->
         let sys, _, server, _ = fresh "garbage" () in
         let p = Seccloud.System.public sys in
-        match Seccloud.Wire.decode p (E.Server.handle server ~now:0.0 "\xde\xad") with
+        let reply = E.Server.handle server ~now:0.0 "\xde\xad" in
+        let _ctx, payload = Seccloud.Envelope.unwrap reply in
+        match Seccloud.Wire.decode p payload with
         | Wire.Ack { ok; _ } -> check Alcotest.bool "error ack" false ok
         | _ -> Alcotest.fail "expected ack");
     case "audit for unknown execution yields an error Ack" (fun () ->

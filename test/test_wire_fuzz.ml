@@ -129,6 +129,21 @@ let kind_coverage =
             Alcotest.failf "round trip changed a %s" (Wire.kind_name m))
         all)
 
+(* Trace-context envelope fixtures: the unsigned envelope in front of
+   every wire message.  A corrupted context must be dropped without
+   ever touching payload verification, and framing damage (bad flag,
+   cut context) must fail typed. *)
+
+module Envelope = Seccloud.Envelope
+module Trace_context = Sc_telemetry.Trace_context
+
+let gen_ctx =
+  (* Distinct deterministic contexts: fresh_trace is an atomic
+     sequence, span ids are small ints. *)
+  Gen.map
+    (fun span -> { Trace_context.trace = Trace_context.fresh_trace (); span })
+    Gen.(int_bound 10_000)
+
 let suite =
   [
     kind_coverage;
@@ -162,6 +177,48 @@ let suite =
         in
         match Wire.decode pub flipped with
         | _ -> true (* the flip may land in free-form content *)
+        | exception Wire.Decode_error _ -> true
+        | exception _ -> false);
+    Util.qcheck ~count:150 "envelope round-trips context and payload"
+      Gen.(pair gen_msg (option gen_ctx))
+      (fun (m, ctx) ->
+        let payload = Wire.encode pub m in
+        let ctx', payload' = Envelope.unwrap (Envelope.wrap ?ctx payload) in
+        ctx' = ctx && payload' = payload);
+    Util.qcheck ~count:200
+      "bit flip in the context region drops the context, payload untouched"
+      Gen.(triple gen_msg gen_ctx (pair (int_bound 1_000_000) (int_bound 7)))
+      (fun (m, ctx, (pos, bit)) ->
+        let payload = Wire.encode pub m in
+        let framed = Envelope.wrap ~ctx payload in
+        (* Offsets 1 .. header_bytes-1: the context bytes + checksum.
+           A single-bit flip always breaks the XOR-fold, so the context
+           must come back [None] while the payload decodes as before. *)
+        let pos = 1 + (pos mod (Envelope.header_bytes - 1)) in
+        let flipped =
+          String.mapi
+            (fun i c ->
+              if i = pos then Char.chr (Char.code c lxor (1 lsl bit)) else c)
+            framed
+        in
+        let ctx', payload' = Envelope.unwrap flipped in
+        ctx' = None && payload' = payload && Wire.decode pub payload' = m);
+    Util.qcheck ~count:200 "truncated context fails typed, never raises raw"
+      Gen.(pair gen_ctx (int_bound 1_000_000))
+      (fun (ctx, cut) ->
+        let framed = Envelope.wrap ~ctx "" in
+        let cut = cut mod Envelope.header_bytes in
+        match Envelope.unwrap (String.sub framed 0 cut) with
+        | _ -> false (* a cut envelope header must never parse *)
+        | exception Wire.Decode_error _ -> true
+        | exception _ -> false);
+    Util.qcheck ~count:100 "unknown flag byte fails typed"
+      Gen.(pair gen_msg (int_range 2 255))
+      (fun (m, flag) ->
+        let payload = Wire.encode pub m in
+        let framed = String.make 1 (Char.chr flag) ^ payload in
+        match Envelope.unwrap framed with
+        | _ -> false
         | exception Wire.Decode_error _ -> true
         | exception _ -> false);
   ]

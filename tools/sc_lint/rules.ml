@@ -18,7 +18,13 @@
      naive-scalar-mul   (informational) hand-rolled double-and-add scalar
                         multiplication outside lib/ec — a Nat.test_bit
                         loop driving Curve.double; Curve.mul (wNAF) or a
-                        cached Curve.mul_precomp comb is faster *)
+                        cached Curve.mul_precomp comb is faster
+     dynamic-metric-name (informational) non-literal name argument to
+                        Telemetry./Registry. counter/gauge/histogram or
+                        [with_span ~name:] outside lib/telemetry —
+                        computed names grow the registry without bound;
+                        per-key fan-out belongs in Labels.counter_vec /
+                        Labels.histogram_vec under a literal family *)
 
 open Parsetree
 module SSet = Set.Make (String)
@@ -502,6 +508,63 @@ let rule_naive_scalar_mul ctx ~name vb =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Rule 7: dynamic metric / span names                                *)
+
+(* A registry cell lives forever, so a computed name is an unbounded
+   cardinality leak waiting for adversarial input (one counter per
+   file name, per peer id, ...).  The sanctioned shape is a literal
+   family plus [Labels.counter_vec] / [Labels.histogram_vec], which
+   bound the fan-out and spill to an "other" cell.  lib/telemetry/
+   itself is exempt: it is the implementation and derives cell names
+   by construction.  Informational — a computed name over a closed
+   static set is legitimate. *)
+let metric_ctors =
+  SSet.of_list
+    [
+      "Telemetry.counter";
+      "Telemetry.gauge";
+      "Telemetry.histogram";
+      "Registry.counter";
+      "Registry.gauge";
+      "Registry.histogram";
+    ]
+
+let in_lib_telemetry path =
+  String.length path >= 14 && String.sub path 0 14 = "lib/telemetry/"
+
+let is_string_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string _) -> true
+  | _ -> false
+
+let rule_dynamic_metric_name ctx ~enclosing ~loc p args =
+  if not (in_lib_telemetry ctx.path) then begin
+    let flag what arg =
+      if not (is_string_literal arg) then
+        emit ctx ~severity:Finding.Info ~rule:"dynamic-metric-name" ~loc
+          ~key:(enclosing ^ ":" ^ what)
+          (Printf.sprintf
+             "%s in %S takes a computed name — dynamic names grow the \
+              registry without bound; use a literal family with \
+              Labels.counter_vec / Labels.histogram_vec for per-key fan-out \
+              (informational)"
+             what enclosing)
+    in
+    (match tail2 p with
+    | Some callee when SSet.mem callee metric_ctors -> (
+      match List.find_opt (fun (l, _) -> l = Asttypes.Nolabel) args with
+      | Some (_, a) -> flag callee a
+      | None -> ())
+    | _ -> ());
+    if tail1 p = Some "with_span" then
+      match
+        List.find_opt (fun (l, _) -> l = Asttypes.Labelled "name") args
+      with
+      | Some (_, a) -> flag "with_span ~name" a
+      | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Main walk                                                          *)
 
 let lint_structure ctx (str : structure) =
@@ -556,7 +619,9 @@ let lint_structure ctx (str : structure) =
                   (fun (_, a) ->
                     scan_secret_idents ctx ~enclosing:!enclosing
                       ~sink:(path_string p) a)
-                  args
+                  args;
+              rule_dynamic_metric_name ctx ~enclosing:!enclosing
+                ~loc:e.pexp_loc p args
             | None -> ());
             it.expr it f;
             List.iter (fun (_, a) -> it.expr it a) args

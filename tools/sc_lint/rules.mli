@@ -1,6 +1,6 @@
-(** The five AST lint rules (domain-safety, signing-encode,
-    determinism, secret-flow, exception-swallow) over a parsed
-    implementation. *)
+(** The AST lint rules (domain-safety, signing-encode, determinism,
+    secret-flow, exception-swallow, naive-scalar-mul,
+    dynamic-metric-name) over a parsed implementation. *)
 
 val lint : path:string -> in_lib:bool -> Parsetree.structure -> Finding.t list
 (** [lint ~path ~in_lib str] returns the findings for one file.
