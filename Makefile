@@ -1,6 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test test-slow lint bench bench-check metrics-check repro clean
+.PHONY: build test test-slow lint bench bench-check metrics-check \
+	service-check repro clean
 
 build:
 	dune build
@@ -36,6 +37,23 @@ bench-check:
 	$(MAKE) test-slow
 	dune exec bench/quick.exe
 	$(MAKE) metrics-check
+	$(MAKE) service-check
+
+# The sharded multi-tenant service layer, end to end.  First a small
+# campaign re-run at two domain counts (--identity-check exits 1
+# unless digests and ledgers are bit-identical), then the full
+# million-identity soak: every identity admitted through the bounded
+# shard queues (backpressure included), a heavy-tenant subset doing
+# full store/audit/compute crypto over the wire with injected
+# corruption as ground truth.  Writes BENCH_service.json and gates it
+# on bench/service.slo.
+service-check:
+	dune exec bin/seccloud_cli.exe -- simulate --service \
+	  --identities 20000 --heavy 32 --corrupt 4 --seed service-identity \
+	  --identity-check
+	dune exec bin/seccloud_cli.exe -- simulate --service \
+	  --identities 1000000 --seed bench-service \
+	  --out BENCH_service.json --slo bench/service.slo
 
 # Runs a representative workload and fails when a verification-cost
 # invariant regresses (e.g. Ibs.verify back to 2 pairings, or a

@@ -115,6 +115,245 @@ let simulate epochs servers byzantine users drop tamper seed trace =
   | Some path -> Printf.printf "span trace (JSONL) written to %s\n" path
   | None -> ()
 
+(* `simulate --service`: the sharded multi-tenant soak campaign.
+   Writes BENCH_service.json (--out), gates it on a declarative SLO
+   file (--slo, exit 1 on violation) and optionally re-runs the whole
+   campaign at a different domain count to prove the results are
+   value-identical (--identity-check, exit 1 on digest mismatch). *)
+let simulate_service ~identities ~shards ~heavy ~corrupt ~queue_cap ~quantum
+    ~lookup_stride ~audit_rounds ~drop ~tamper ~seed ~trace ~out ~slo
+    ~identity_check =
+  let cfg =
+    {
+      Sc_sim.Engine.default_service_config with
+      Sc_sim.Engine.sv_seed = seed;
+      sv_identities = identities;
+      sv_heavy = heavy;
+      sv_corrupt = corrupt;
+      sv_lookup_stride = lookup_stride;
+      sv_audit_rounds = audit_rounds;
+      sv_service =
+        {
+          Sc_service.Service.default_config with
+          Sc_service.Service.shards;
+          queue_capacity = queue_cap;
+          drain_quantum = quantum;
+          faults = Seccloud.Transport.lossy ~drop ~tamper ();
+        };
+    }
+  in
+  let run_once () =
+    Telemetry.reset ();
+    Sc_sim.Engine.run_service cfg
+  in
+  let stats =
+    match trace with
+    | Some path -> Telemetry.with_trace_file path run_once
+    | None -> run_once ()
+  in
+  let open_spans = Telemetry.open_spans () in
+  let l = stats.Sc_sim.Engine.sv_ledger in
+  Printf.printf
+    "service campaign (%d shards, %d domains): %d identities admitted, %d \
+     requests processed, %d rejected (backpressure), queue peak %d/%d\n"
+    shards
+    (Sc_parallel.domain_count ())
+    l.Sc_service.Service.admitted l.Sc_service.Service.processed
+    l.Sc_service.Service.rejected l.Sc_service.Service.queue_peak queue_cap;
+  Printf.printf
+    "audits: %d storage + %d compute (%.0f audits/sec sustained); detected=%d \
+     missed=%d false_alarms=%d channel_blames=%d\n"
+    l.Sc_service.Service.audits l.Sc_service.Service.computes
+    stats.Sc_sim.Engine.sv_audits_per_sec stats.Sc_sim.Engine.sv_detected
+    stats.Sc_sim.Engine.sv_missed stats.Sc_sim.Engine.sv_false_alarms
+    l.Sc_service.Service.channel_blames;
+  List.iter
+    (fun p ->
+      Printf.printf "  %-16s count=%-8d p50=%.0fus p99=%.0fus\n"
+        p.Sc_sim.Engine.sp_name p.Sc_sim.Engine.sp_count
+        p.Sc_sim.Engine.sp_p50_us p.Sc_sim.Engine.sp_p99_us)
+    stats.Sc_sim.Engine.sv_protocols;
+  Printf.printf "digest: %s (%.1fs elapsed, %d open spans)\n"
+    stats.Sc_sim.Engine.sv_digest stats.Sc_sim.Engine.sv_elapsed_s open_spans;
+  let identity_failed =
+    if not identity_check then false
+    else begin
+      let saved = Sc_parallel.domain_count () in
+      let other = if saved = 1 then 4 else 1 in
+      Sc_parallel.set_domain_count other;
+      let stats' = run_once () in
+      Sc_parallel.set_domain_count saved;
+      let agree =
+        stats'.Sc_sim.Engine.sv_digest = stats.Sc_sim.Engine.sv_digest
+        && stats'.Sc_sim.Engine.sv_ledger = stats.Sc_sim.Engine.sv_ledger
+      in
+      if agree then
+        Printf.printf
+          "identity check: digests and ledgers agree at %d and %d domains\n"
+          saved other
+      else
+        Printf.eprintf
+          "identity check FAILED: %d domains -> %s, %d domains -> %s\n" saved
+          stats.Sc_sim.Engine.sv_digest other stats'.Sc_sim.Engine.sv_digest;
+      not agree
+    end
+  in
+  let slos =
+    match slo with
+    | None -> None
+    | Some path ->
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Sc_sim.Engine.check_service_slos cfg stats content with
+      | Ok slos ->
+        List.iter
+          (fun (c : Sc_telemetry.Slo.check) ->
+            Printf.printf "  slo %-40s actual %12.1f  %s\n" c.expr c.actual
+              (if c.pass then "ok" else "FAIL"))
+          slos;
+        Some slos
+      | Error msg ->
+        Printf.eprintf "SLO file %s rejected:\n%s\n" path msg;
+        exit 2)
+  in
+  (match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Sc_sim.Engine.service_stats_json ?slos cfg stats);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "report written to %s\n" path);
+  if open_spans > 0 then begin
+    Printf.eprintf "%d spans leaked open\n" open_spans;
+    exit 1
+  end;
+  if identity_failed then exit 1;
+  match slos with
+  | Some slos when not (Sc_telemetry.Slo.all_pass slos) ->
+    prerr_endline "SLO violations detected";
+    exit 1
+  | _ -> ()
+
+(* `serve`: a line-oriented interactive front end over the sharded
+   service — every command is submitted through the real queue /
+   backpressure / drain path. *)
+let serve preset seed shards queue_cap quantum =
+  let module Service = Sc_service.Service in
+  let svc =
+    Service.create
+      ~config:
+        {
+          Service.default_config with
+          Service.shards;
+          queue_capacity = queue_cap;
+          drain_quantum = quantum;
+        }
+      ~params:(preset_of preset) ~seed ()
+  in
+  let response_line = function
+    | Service.Admitted { shard } -> Printf.sprintf "admitted shard=%d" shard
+    | Service.Info { known; files } ->
+      Printf.sprintf "info known=%b files=%d" known files
+    | Service.Stored ok -> Printf.sprintf "stored ok=%b" ok
+    | Service.Store_failed e ->
+      "store failed: " ^ Seccloud.Transport.error_to_string e
+    | Service.Audited { report; _ } ->
+      Printf.sprintf "audited intact=%b (%d/%d blocks valid)"
+        report.Seccloud.Agency.intact report.Seccloud.Agency.valid_blocks
+        report.Seccloud.Agency.sampled
+    | Service.Computed { verdict; _ } ->
+      Printf.sprintf "computed valid=%b (%d failures)"
+        verdict.Sc_audit.Protocol.valid
+        (List.length verdict.Sc_audit.Protocol.failures)
+    | Service.Compute_failed e ->
+      "compute failed: " ^ Seccloud.Transport.error_to_string e
+    | Service.Corrupted -> "corrupted (injected storage rot)"
+    | Service.Denied Service.Unknown_tenant -> "denied: unknown tenant"
+    | Service.Denied Service.Unknown_file -> "denied: unknown file"
+    | Service.Denied Service.Empty_upload -> "denied: empty upload"
+  in
+  let submit tenant request =
+    (match Service.submit svc ~tenant request with
+    | Ok () -> ()
+    | Error e -> Format.printf "%a@." Service.pp_error e);
+    List.iter
+      (fun (tenant, _, response) ->
+        Printf.printf "%s: %s\n" tenant (response_line response))
+      (Service.drain svc)
+  in
+  let payloads_of blocks ints drbg =
+    List.init blocks (fun _ ->
+        Sc_storage.Block.encode_ints
+          (List.init ints (fun _ -> Sc_hash.Drbg.uniform_int drbg 1000)))
+  in
+  let drbg = Sc_hash.Drbg.create ~seed:("serve-data:" ^ seed) in
+  Printf.printf
+    "seccloud service on %d shards (params=%s). Commands: admit T | lookup T \
+     | store T FILE [BLOCKS [INTS]] | corrupt T FILE | audit T FILE \
+     [SAMPLES] | compute T FILE [TASKS [SAMPLES]] | stats | quit\n"
+    shards preset;
+  let rec loop () =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line -> (
+      let words =
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun w -> w <> "")
+      in
+      let int_at default = function
+        | Some w -> ( match int_of_string_opt w with Some v -> v | None -> default)
+        | None -> default
+      in
+      let arg n = List.nth_opt words n in
+      match words with
+      | [] -> loop ()
+      | "quit" :: _ | "exit" :: _ -> ()
+      | "stats" :: _ ->
+        let l = Service.ledger svc in
+        Printf.printf
+          "processed=%d admitted=%d stores=%d audits=%d computes=%d \
+           rejected=%d denials=%d queue_peak=%d\ndigest=%s\n"
+          l.Service.processed l.Service.admitted l.Service.stores
+          l.Service.audits l.Service.computes l.Service.rejected
+          l.Service.denials l.Service.queue_peak (Service.digest svc);
+        loop ()
+      | "admit" :: t :: _ ->
+        submit t Service.Admit;
+        loop ()
+      | "lookup" :: t :: _ ->
+        submit t Service.Lookup;
+        loop ()
+      | "store" :: t :: file :: _ ->
+        submit t
+          (Service.Store
+             {
+               file;
+               payloads = payloads_of (int_at 4 (arg 3)) (int_at 8 (arg 4)) drbg;
+             });
+        loop ()
+      | "corrupt" :: t :: file :: _ ->
+        submit t (Service.Corrupt { file });
+        loop ()
+      | "audit" :: t :: file :: _ ->
+        submit t (Service.Audit_storage { file; samples = int_at 4 (arg 3) });
+        loop ()
+      | "compute" :: t :: file :: _ ->
+        submit t
+          (Service.Compute
+             {
+               file;
+               n_tasks = int_at 4 (arg 3);
+               samples = int_at 4 (arg 4);
+             });
+        loop ()
+      | cmd :: _ ->
+        Printf.printf "unknown command %S\n" cmd;
+        loop ())
+  in
+  loop ()
+
 (* `trace analyze`: offline reconstruction of the JSONL span trace
    written by `simulate --trace` / `stats --trace`, with an optional
    declarative SLO gate (exit 1 on violation). *)
@@ -471,15 +710,119 @@ let trace_file_arg =
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE" ~doc:"Write a JSONL span trace to $(docv).")
 
+let simulate_main epochs servers byzantine users drop tamper seed trace
+    service identities shards heavy corrupt queue_cap quantum lookup_stride
+    audit_rounds out slo identity_check =
+  if service then
+    simulate_service ~identities ~shards ~heavy ~corrupt ~queue_cap ~quantum
+      ~lookup_stride ~audit_rounds ~drop ~tamper ~seed ~trace ~out ~slo
+      ~identity_check
+  else simulate epochs servers byzantine users drop tamper seed trace
+
 let simulate_cmd =
   let epochs = Arg.(value & opt int 5 & info [ "epochs" ] ~doc:"Epochs.") in
   let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"Cloud servers.") in
   let byzantine = Arg.(value & opt int 1 & info [ "byzantine" ] ~doc:"Adversary bound b.") in
   let users = Arg.(value & opt int 2 & info [ "users" ] ~doc:"Cloud users.") in
+  let service =
+    Arg.(
+      value & flag
+      & info [ "service" ]
+          ~doc:
+            "Run the sharded multi-tenant service soak campaign instead of \
+             the epoch simulation.")
+  in
+  let identities =
+    Arg.(
+      value & opt int 20_000
+      & info [ "identities" ] ~doc:"Service mode: distinct tenant identities.")
+  in
+  let shards =
+    Arg.(value & opt int 16 & info [ "shards" ] ~doc:"Service mode: shards.")
+  in
+  let heavy =
+    Arg.(
+      value & opt int 64
+      & info [ "heavy" ]
+          ~doc:"Service mode: tenants doing full store/audit/compute crypto.")
+  in
+  let corrupt =
+    Arg.(
+      value & opt int 8
+      & info [ "corrupt" ]
+          ~doc:"Service mode: heavy tenants whose stored data rots.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue-cap" ] ~doc:"Service mode: per-shard queue capacity.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 64
+      & info [ "quantum" ]
+          ~doc:"Service mode: max requests per shard per drain round.")
+  in
+  let lookup_stride =
+    Arg.(
+      value & opt int 16
+      & info [ "lookup-stride" ]
+          ~doc:"Service mode: every k-th identity also sends a lookup.")
+  in
+  let audit_rounds =
+    Arg.(
+      value & opt int 2
+      & info [ "audit-rounds" ] ~doc:"Service mode: audit rounds.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Service mode: write the JSON report (BENCH_service.json).")
+  in
+  let slo =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "slo" ] ~docv:"FILE"
+          ~doc:"Service mode: declarative SLO gate; exit 1 on violation.")
+  in
+  let identity_check =
+    Arg.(
+      value & flag
+      & info [ "identity-check" ]
+          ~doc:
+            "Service mode: re-run the campaign at a different domain count \
+             and fail unless digests and ledgers are value-identical.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the Byzantine cloud simulation")
     Term.(
-      const simulate $ epochs $ servers $ byzantine $ users $ drop_arg
-      $ tamper_arg $ seed_arg $ trace_file_arg)
+      const simulate_main $ epochs $ servers $ byzantine $ users $ drop_arg
+      $ tamper_arg $ seed_arg $ trace_file_arg $ service $ identities $ shards
+      $ heavy $ corrupt $ queue_cap $ quantum $ lookup_stride $ audit_rounds
+      $ out $ slo $ identity_check)
+
+let serve_cmd =
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard count.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~doc:"Per-shard queue capacity.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 8
+      & info [ "quantum" ] ~doc:"Max requests per shard per drain round.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Interactive multi-tenant service: line commands through the real \
+          shard queues")
+    Term.(const serve $ preset_arg $ seed_arg $ shards $ queue_cap $ quantum)
 
 let trace_cmd =
   let file =
@@ -516,4 +859,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; samplesize_cmd; simulate_cmd; stats_cmd; trace_cmd ]))
+          [
+            demo_cmd;
+            samplesize_cmd;
+            simulate_cmd;
+            serve_cmd;
+            stats_cmd;
+            trace_cmd;
+          ]))

@@ -12,6 +12,9 @@ type t = {
   cs_ids : string list;
   cs_keys : (string, Setup.identity_key) Hashtbl.t;
   users : (string, Setup.identity_key) Hashtbl.t;
+  users_lock : Mutex.t;
+      (* guards [users]: shard workers of the service layer register
+         tenants concurrently from pool domains *)
   drbg : Sc_hash.Drbg.t;
 }
 
@@ -35,6 +38,7 @@ let create ?(params = Sc_pairing.Params.small) ~seed ~cs_ids ~da_id () =
     cs_ids;
     cs_keys;
     users = Hashtbl.create 8;
+    users_lock = Mutex.create ();
     drbg;
   }
 
@@ -44,12 +48,28 @@ let da_key t = t.da_key
 let cs_ids t = t.cs_ids
 let cs_key t id = Hashtbl.find t.cs_keys id
 
+(* Extraction is outside the critical section (it is the expensive
+   part and is a pure function of [id]); the table update is guarded
+   so concurrent shard workers can register tenants safely.  A lost
+   race extracts the same key twice and stores one copy — identical
+   either way, so results never depend on the schedule. *)
 let register_user t id =
-  match Hashtbl.find_opt t.users id with
+  Mutex.lock t.users_lock;
+  let known = Hashtbl.find_opt t.users id in
+  Mutex.unlock t.users_lock;
+  match known with
   | Some key -> key
   | None ->
     let key = Setup.extract t.sio id in
-    Hashtbl.replace t.users id key;
+    Mutex.lock t.users_lock;
+    let key =
+      match Hashtbl.find_opt t.users id with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.replace t.users id key;
+        key
+    in
+    Mutex.unlock t.users_lock;
     Log.info (fun m -> m "registered user %s" id);
     key
 

@@ -27,7 +27,10 @@ val cs_key : t -> string -> Sc_ibc.Setup.identity_key
 (** @raise Not_found for unknown server identities. *)
 
 val register_user : t -> string -> Sc_ibc.Setup.identity_key
-(** Extracts (or returns the already-extracted) key for a user. *)
+(** Extracts (or returns the already-extracted) key for a user.
+    Domain-safe: the service layer's shard workers may register
+    tenants concurrently; extraction is a pure function of the
+    identity, so the result never depends on the schedule. *)
 
 val drbg : t -> Sc_hash.Drbg.t
 (** The system-wide deterministic randomness source. *)

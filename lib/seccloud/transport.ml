@@ -61,6 +61,7 @@ type t = {
   peer_name : string;
   stale : string Queue.t; (* responses held back by duplication/reordering *)
   mutable clock : float;
+  mutable tampers : int; (* bit flips this instance injected *)
 }
 
 let c_rpc = Telemetry.counter "transport.rpc"
@@ -97,10 +98,12 @@ let create ?(faults = perfect) ?(policy = Retry.default) ?drbg
     peer_name = peer;
     stale = Queue.create ();
     clock = now;
+    tampers = 0;
   }
 
 let peer t = t.peer_name
 let now t = t.clock
+let injected_tampers t = t.tampers
 
 let set_now t v =
   if v < t.clock then invalid_arg "Transport.set_now: clock moving backwards";
@@ -112,6 +115,7 @@ let tamper_bytes t data =
   if String.length data = 0 then data
   else begin
     Telemetry.incr c_fault_tamper;
+    t.tampers <- t.tampers + 1;
     let i = Sc_hash.Drbg.uniform_int t.drbg (String.length data) in
     let bit = 1 lsl Sc_hash.Drbg.uniform_int t.drbg 8 in
     String.mapi

@@ -98,6 +98,15 @@ val create :
 
 val peer : t -> string
 
+val injected_tampers : t -> int
+(** Bit flips this channel instance has injected so far (fault-layer
+    ground truth).  A caller that snapshots this around a protocol
+    round can tell "verification failed because the channel mangled a
+    message that still decoded" apart from a genuine crypto failure —
+    per instance, so concurrent channels on other shards never bleed
+    into the classification the way the global
+    [transport.fault.tamper] counter would. *)
+
 val now : t -> float
 (** The simulated clock: advances by charge-reported transfer times,
     injected delays, per-attempt timeouts and retry backoffs. *)

@@ -1,0 +1,19 @@
+(* Identity -> shard placement.  A domain-separation tag keeps this
+   hash from colliding with any signing/KDF use of the identity, and
+   the canonical framing makes the digest input injective in the
+   identity. *)
+
+let shard_of ~shards id =
+  if shards < 1 then invalid_arg "Router.shard_of: shards < 1";
+  if shards = 1 then 0
+  else begin
+    let digest = Sc_hash.Encode.digest [ "seccloud.service.shard"; id ] in
+    (* First 8 bytes, big-endian, sign bit cleared: an unbiased-enough
+       63-bit sample (shards is tiny next to 2^63). *)
+    let acc = ref 0 in
+    for i = 0 to 7 do
+      acc := (!acc lsl 8) lor Char.code digest.[i]
+    done;
+    let v = !acc land max_int in
+    v mod shards
+  end

@@ -371,3 +371,312 @@ let detection_rate stats =
   if total = 0 then 1.0 else float_of_int stats.detected /. float_of_int total
 
 let learned_costs ?(a3 = 1.0) stats = Optimal.learn_costs ~a3 stats.records
+
+(* ------------------------------------------------------------------ *)
+(* Service-layer soak campaign                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Sc_service.Service
+
+type service_config = {
+  sv_seed : string;
+  sv_params : Sc_pairing.Params.t lazy_t;
+  sv_service : Service.config;
+  sv_identities : int;
+  sv_lookup_stride : int;
+  sv_heavy : int;
+  sv_corrupt : int;
+  sv_blocks_per_file : int;
+  sv_ints_per_block : int;
+  sv_tasks : int;
+  sv_samples : int;
+  sv_audit_rounds : int;
+}
+
+let default_service_config =
+  {
+    sv_seed = "service-campaign";
+    sv_params = Sc_pairing.Params.toy;
+    sv_service = Service.default_config;
+    sv_identities = 20_000;
+    sv_lookup_stride = 16;
+    sv_heavy = 64;
+    sv_corrupt = 8;
+    sv_blocks_per_file = 4;
+    sv_ints_per_block = 8;
+    sv_tasks = 4;
+    sv_samples = 4;
+    sv_audit_rounds = 2;
+  }
+
+type service_protocol = {
+  sp_name : string;
+  sp_count : int;
+  sp_p50_us : float;
+  sp_p99_us : float;
+}
+
+type service_stats = {
+  sv_ledger : Service.ledger;
+  sv_digest : string;
+  sv_shard_tenants : int array;
+  sv_false_alarms : int;
+  sv_detected : int;
+  sv_missed : int;
+  sv_channel_suspected : int;
+  sv_elapsed_s : float;
+  sv_audit_elapsed_s : float;
+  sv_audits_per_sec : float;
+  sv_requests_per_sec : float;
+  sv_protocols : service_protocol list;
+}
+
+let service_tenant_name i = Printf.sprintf "tenant-%08d" i
+let service_ops = [ "admit"; "lookup"; "store"; "corrupt"; "audit"; "compute" ]
+
+let ns_to_s ns = Int64.to_float ns /. 1e9
+
+let run_service cfg =
+  if cfg.sv_identities < 1 then invalid_arg "run_service: identities < 1";
+  if cfg.sv_heavy > cfg.sv_identities then
+    invalid_arg "run_service: heavy > identities";
+  if cfg.sv_corrupt > cfg.sv_heavy then
+    invalid_arg "run_service: corrupt > heavy";
+  Telemetry.with_span ~name:"service.campaign" @@ fun () ->
+  let svc =
+    Service.create ~config:cfg.sv_service ~params:cfg.sv_params
+      ~seed:cfg.sv_seed ()
+  in
+  let drbg =
+    Sc_hash.Drbg.create
+      ~seed:(Sc_hash.Encode.canonical [ "service-campaign"; cfg.sv_seed ])
+  in
+  (* Heavy tenants are strided across the identity space so every
+     shard sees its share of full-crypto traffic. *)
+  let stride = max 1 (cfg.sv_identities / max 1 cfg.sv_heavy) in
+  let heavy =
+    List.init cfg.sv_heavy (fun j ->
+        service_tenant_name (j * stride mod cfg.sv_identities))
+  in
+  let corrupted = Hashtbl.create 16 in
+  List.iteri
+    (fun j id -> if j < cfg.sv_corrupt then Hashtbl.replace corrupted id ())
+    heavy;
+  let file = "soak" in
+  let false_alarms = ref 0
+  and detected = ref 0
+  and missed = ref 0
+  and suspected = ref 0 in
+  (* Ground truth: the only tenants whose audits may legitimately fail
+     crypto verification are the ones we corrupted — and only after
+     the corruption wave ran (audits are all submitted later). *)
+  let classify results =
+    List.iter
+      (fun (tenant, _request, response) ->
+        let corrupt = Hashtbl.mem corrupted tenant in
+        match response with
+        | Service.Audited { report; tampered_in_flight } -> (
+          match report.Seccloud.Agency.channel with
+          | Some _ -> ()
+          | None ->
+            if report.Seccloud.Agency.intact then begin
+              if corrupt then incr missed
+            end
+            else if corrupt then incr detected
+            else if tampered_in_flight then incr suspected
+            else incr false_alarms)
+        | Service.Computed { verdict; tampered_in_flight } ->
+          if
+            List.exists Protocol.is_transport_failure verdict.Protocol.failures
+          then ()
+          else if not verdict.Protocol.valid then begin
+            (* A computation over rotten data may or may not touch the
+               bad block, so validity is not a miss for corrupt
+               tenants — but an honest tenant's computation must never
+               fail crypto-clean. *)
+            if corrupt then incr detected
+            else if tampered_in_flight then incr suspected
+            else incr false_alarms
+          end
+        | _ -> ())
+      results
+  in
+  let submit tenant request =
+    let rec go () =
+      match Service.submit svc ~tenant request with
+      | Ok () -> ()
+      | Error (Service.Overloaded _) ->
+        (* The stream outran the queues: drain to completion, then
+           retry — typed backpressure, never a blocked or dropped
+           submission. *)
+        classify (Service.drain svc);
+        go ()
+    in
+    go ()
+  in
+  let t_all = Telemetry.now_ns () in
+  (* Wave 1: admission for every identity, light lookups riding
+     along. *)
+  for i = 0 to cfg.sv_identities - 1 do
+    let id = service_tenant_name i in
+    submit id Service.Admit;
+    if cfg.sv_lookup_stride > 0 && i mod cfg.sv_lookup_stride = 0 then
+      submit id Service.Lookup
+  done;
+  classify (Service.drain svc);
+  (* Wave 2: heavy tenants store a signed file over the wire. *)
+  List.iter
+    (fun id ->
+      let payloads =
+        List.init cfg.sv_blocks_per_file (fun _ ->
+            Sc_storage.Block.encode_ints
+              (List.init cfg.sv_ints_per_block (fun _ ->
+                   Sc_hash.Drbg.uniform_int drbg 1000)))
+      in
+      submit id (Service.Store { file; payloads }))
+    heavy;
+  classify (Service.drain svc);
+  (* Wave 3: silent corruption of the chosen tenants' data. *)
+  List.iteri
+    (fun j id ->
+      if j < cfg.sv_corrupt then submit id (Service.Corrupt { file }))
+    heavy;
+  classify (Service.drain svc);
+  (* Wave 4: audit rounds — storage and computation audits for every
+     heavy tenant. *)
+  let t_audit = Telemetry.now_ns () in
+  for _round = 1 to cfg.sv_audit_rounds do
+    List.iter
+      (fun id ->
+        submit id (Service.Audit_storage { file; samples = cfg.sv_samples });
+        submit id
+          (Service.Compute
+             { file; n_tasks = cfg.sv_tasks; samples = cfg.sv_samples }))
+      heavy;
+    classify (Service.drain svc)
+  done;
+  let audit_elapsed = ns_to_s (Telemetry.elapsed_ns t_audit) in
+  let elapsed = ns_to_s (Telemetry.elapsed_ns t_all) in
+  let ledger = Service.ledger svc in
+  let protocols =
+    List.filter_map
+      (fun op ->
+        let name = "service." ^ op in
+        match Telemetry.find ("span." ^ name) with
+        | Some (Telemetry.Histogram h) when h.Telemetry.count > 0 ->
+          Some
+            {
+              sp_name = name;
+              sp_count = h.Telemetry.count;
+              sp_p50_us = Telemetry.quantile h 0.5;
+              sp_p99_us = Telemetry.quantile h 0.99;
+            }
+        | _ -> None)
+      service_ops
+  in
+  let stats =
+    {
+      sv_ledger = ledger;
+      sv_digest = Service.digest svc;
+      sv_shard_tenants = Service.tenant_counts svc;
+      sv_false_alarms = !false_alarms;
+      sv_detected = !detected;
+      sv_missed = !missed;
+      sv_channel_suspected = !suspected;
+      sv_elapsed_s = elapsed;
+      sv_audit_elapsed_s = audit_elapsed;
+      sv_audits_per_sec =
+        (if audit_elapsed > 0.0 then
+           float_of_int (ledger.Service.audits + ledger.Service.computes)
+           /. audit_elapsed
+         else 0.0);
+      sv_requests_per_sec =
+        (if elapsed > 0.0 then
+           float_of_int ledger.Service.processed /. elapsed
+         else 0.0);
+      sv_protocols = protocols;
+    }
+  in
+  Telemetry.add_attr "identities" (string_of_int cfg.sv_identities);
+  Telemetry.add_attr "processed" (string_of_int ledger.Service.processed);
+  Telemetry.add_attr "rejected" (string_of_int ledger.Service.rejected);
+  Telemetry.add_attr "false_alarms" (string_of_int stats.sv_false_alarms);
+  Telemetry.add_attr "digest" stats.sv_digest;
+  stats
+
+let service_metrics cfg stats =
+  let l = stats.sv_ledger in
+  let base =
+    [
+      "identities", float_of_int cfg.sv_identities;
+      "heavy_tenants", float_of_int cfg.sv_heavy;
+      "corrupt_tenants", float_of_int cfg.sv_corrupt;
+      "shards", float_of_int cfg.sv_service.Service.shards;
+      "queue_capacity", float_of_int cfg.sv_service.Service.queue_capacity;
+      "submitted", float_of_int l.Service.submitted;
+      "accepted", float_of_int l.Service.accepted;
+      "rejected", float_of_int l.Service.rejected;
+      "processed", float_of_int l.Service.processed;
+      "admitted", float_of_int l.Service.admitted;
+      "lookups", float_of_int l.Service.lookups;
+      "stores", float_of_int l.Service.stores;
+      "store_failures", float_of_int l.Service.store_failures;
+      "corruptions", float_of_int l.Service.corruptions;
+      "audits", float_of_int l.Service.audits;
+      "audit_alarms", float_of_int l.Service.audit_alarms;
+      "computes", float_of_int l.Service.computes;
+      "compute_alarms", float_of_int l.Service.compute_alarms;
+      "channel_blames", float_of_int l.Service.channel_blames;
+      "denials", float_of_int l.Service.denials;
+      "queue_peak", float_of_int l.Service.queue_peak;
+      "false_alarms", float_of_int stats.sv_false_alarms;
+      "detected", float_of_int stats.sv_detected;
+      "missed", float_of_int stats.sv_missed;
+      "channel_suspected", float_of_int stats.sv_channel_suspected;
+      "elapsed_s", stats.sv_elapsed_s;
+      "audit_elapsed_s", stats.sv_audit_elapsed_s;
+      "audits_per_sec", stats.sv_audits_per_sec;
+      "requests_per_sec", stats.sv_requests_per_sec;
+    ]
+  in
+  base
+  @ List.concat_map
+      (fun p ->
+        [
+          Printf.sprintf "count(%s)" p.sp_name, float_of_int p.sp_count;
+          Printf.sprintf "p50_us(%s)" p.sp_name, p.sp_p50_us;
+          Printf.sprintf "p99_us(%s)" p.sp_name, p.sp_p99_us;
+        ])
+      stats.sv_protocols
+
+let service_stats_json ?slos cfg stats =
+  let module Json = Sc_telemetry.Json in
+  let num v =
+    if Float.is_integer v && Float.abs v < 1e15 then
+      string_of_int (int_of_float v)
+    else Json.float v
+  in
+  let fields =
+    List.map (fun (k, v) -> k, num v) (service_metrics cfg stats)
+    @ [
+        "digest", Json.str stats.sv_digest;
+        ( "shard_tenants",
+          Json.arr
+            (Array.to_list
+               (Array.map string_of_int stats.sv_shard_tenants)) );
+      ]
+    @
+    match slos with
+    | None -> []
+    | Some slos -> [ "slo", Sc_telemetry.Slo.json slos ]
+  in
+  Json.obj fields
+
+let check_service_slos cfg stats content =
+  let metrics = service_metrics cfg stats in
+  Sc_telemetry.Slo.check
+    ~lookup:(fun name ->
+      match List.assoc_opt name metrics with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "unknown metric %S" name))
+    content

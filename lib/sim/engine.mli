@@ -69,3 +69,95 @@ val detection_rate : stats -> float
 
 val learned_costs : ?a3:float -> stats -> Sc_audit.Optimal.costs
 (** Theorem 3 history learning over the run's audit records. *)
+
+(** {2 Service-layer soak campaign}
+
+    Mixed traffic through the sharded multi-tenant
+    {!Sc_service.Service} front end: every identity is admitted (with
+    a strided stream of light lookups riding along), a heavy-tenant
+    subset stores files and is audited — storage and computation,
+    over the fault-injectable wire — for a configured number of
+    rounds, and a chosen few heavy tenants have their stored data
+    silently corrupted first, giving the campaign ground truth to
+    classify every alarm against.  Backpressure is part of the
+    workload: the identity stream deliberately outruns the queues, so
+    submission interleaves with drains on typed [Overloaded]
+    rejections.
+
+    All results are deterministic in the seed and independent of
+    [SECCLOUD_DOMAINS] — {!Sc_service.Service.digest} is the witness
+    the CLI's [--identity-check] compares across domain counts. *)
+
+type service_config = {
+  sv_seed : string;
+  sv_params : Sc_pairing.Params.t lazy_t;
+  sv_service : Sc_service.Service.config;
+  sv_identities : int;  (** distinct tenants admitted *)
+  sv_lookup_stride : int;
+      (** every k-th identity also sends a lookup; 0 disables *)
+  sv_heavy : int;  (** tenants doing full store/audit/compute crypto *)
+  sv_corrupt : int;  (** heavy tenants whose stored file rots *)
+  sv_blocks_per_file : int;
+  sv_ints_per_block : int;
+  sv_tasks : int;  (** sub-tasks per outsourced computation *)
+  sv_samples : int;
+      (** audit sample size; >= blocks_per_file means full coverage,
+          so a corrupted block can never be missed by sampling *)
+  sv_audit_rounds : int;
+}
+
+val default_service_config : service_config
+(** Toy params: 20k identities, 64 heavy tenants (8 corrupted),
+    2 audit rounds, the default service config. *)
+
+type service_protocol = {
+  sp_name : string;  (** span name, e.g. ["service.audit"] *)
+  sp_count : int;
+  sp_p50_us : float;
+  sp_p99_us : float;
+}
+
+type service_stats = {
+  sv_ledger : Sc_service.Service.ledger;
+  sv_digest : string;  (** the cross-domain value-identity witness *)
+  sv_shard_tenants : int array;  (** admitted tenants per shard *)
+  sv_false_alarms : int;
+      (** honest-tenant audits that failed with a clean channel and
+          no injected in-flight tampering — must be 0 *)
+  sv_detected : int;  (** corrupted-tenant audits that raised *)
+  sv_missed : int;
+      (** corrupted-tenant storage audits that passed cleanly *)
+  sv_channel_suspected : int;
+      (** failures coinciding with injected in-flight tampering *)
+  sv_elapsed_s : float;
+  sv_audit_elapsed_s : float;  (** the audit-rounds phase alone *)
+  sv_audits_per_sec : float;
+      (** (storage audits + computation audits) / audit phase *)
+  sv_requests_per_sec : float;  (** processed / elapsed *)
+  sv_protocols : service_protocol list;
+      (** per-protocol latency from the [span.service.*] histograms *)
+}
+
+val run_service : service_config -> service_stats
+
+val service_metrics : service_config -> service_stats -> (string * float) list
+(** The flat numeric namespace shared by {!service_stats_json} and
+    {!check_service_slos}: ledger fields, classification counters,
+    throughput figures and per-protocol ["count(service.store)"] /
+    ["p50_us(...)"] / ["p99_us(...)"] entries. *)
+
+val service_stats_json :
+  ?slos:Sc_telemetry.Slo.check list ->
+  service_config ->
+  service_stats ->
+  string
+(** The BENCH_service.json document: every {!service_metrics} entry
+    plus the digest, and the SLO verdicts when given. *)
+
+val check_service_slos :
+  service_config ->
+  service_stats ->
+  string ->
+  (Sc_telemetry.Slo.check list, string) result
+(** Evaluate a [bench/service.slo]-grammar document against
+    {!service_metrics}. *)

@@ -1,0 +1,79 @@
+(* Generic METRIC OP VALUE assertion engine; the metric namespace is
+   the caller's lookup function.  Extracted from the PR 7 trace
+   analyzer so the service-layer bench gate reuses the exact grammar
+   (and failure modes) instead of growing a dialect. *)
+
+type check = {
+  expr : string;
+  metric : string;
+  actual : float;
+  bound : float;
+  cmp : string;
+  pass : bool;
+}
+
+let operators = [ "<="; ">="; "="; "<"; ">" ]
+
+let compare_op cmp actual bound =
+  match cmp with
+  | "<=" -> actual <= bound
+  | ">=" -> actual >= bound
+  | "=" -> actual = bound
+  | "<" -> actual < bound
+  | ">" -> actual > bound
+  | _ -> false
+
+let check ~lookup content =
+  let results = ref [] and problems = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then
+        match
+          String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+        with
+        | [ metric; cmp; value ] when List.mem cmp operators -> (
+          match float_of_string_opt value with
+          | None ->
+            problems :=
+              Printf.sprintf "slo line %d: bad value %S" (lineno + 1) value
+              :: !problems
+          | Some bound -> (
+            match lookup metric with
+            | Error e ->
+              problems :=
+                Printf.sprintf "slo line %d: %s" (lineno + 1) e :: !problems
+            | Ok actual ->
+              let pass =
+                (not (Float.is_nan actual)) && compare_op cmp actual bound
+              in
+              results :=
+                { expr = line; metric; actual; bound; cmp; pass } :: !results))
+        | _ ->
+          problems :=
+            Printf.sprintf "slo line %d: expected 'METRIC OP VALUE', got %S"
+              (lineno + 1) line
+            :: !problems)
+    (String.split_on_char '\n' content);
+  match !problems with
+  | [] -> Ok (List.rev !results)
+  | ps -> Error (String.concat "\n" (List.rev ps))
+
+let all_pass = List.for_all (fun c -> c.pass)
+
+let json checks =
+  Json.arr
+    (List.map
+       (fun c ->
+         Json.obj
+           [
+             "expr", Json.str c.expr;
+             "actual", Json.float c.actual;
+             "pass", (if c.pass then "true" else "false");
+           ])
+       checks)

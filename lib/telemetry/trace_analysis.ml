@@ -432,56 +432,23 @@ let eval_metric report spans m =
                0.0 spans))
       | _ -> Error (Printf.sprintf "unknown SLO function %S" fn)))
 
-let compare_op cmp actual bound =
-  match cmp with
-  | "<=" -> actual <= bound
-  | ">=" -> actual >= bound
-  | "=" -> actual = bound
-  | "<" -> actual < bound
-  | ">" -> actual > bound
-  | _ -> false
-
+(* The METRIC OP VALUE grammar lives in {!Slo}; this wires its lookup
+   to the trace report's metric namespace. *)
 let check_slos report spans content =
-  let results = ref [] and problems = ref [] in
-  List.iteri
-    (fun lineno line ->
-      let line =
-        match String.index_opt line '#' with
-        | Some i -> String.sub line 0 i
-        | None -> line
-      in
-      let line = String.trim line in
-      if line <> "" then
-        match
-          String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
-        with
-        | [ metric; cmp; value ]
-          when List.mem cmp [ "<="; ">="; "="; "<"; ">" ] -> (
-          match float_of_string_opt value with
-          | None ->
-            problems :=
-              Printf.sprintf "slo line %d: bad value %S" (lineno + 1) value
-              :: !problems
-          | Some bound -> (
-            match eval_metric report spans metric with
-            | Error e ->
-              problems :=
-                Printf.sprintf "slo line %d: %s" (lineno + 1) e :: !problems
-            | Ok actual ->
-              let pass =
-                (not (Float.is_nan actual)) && compare_op cmp actual bound
-              in
-              results :=
-                { expr = line; actual; bound; cmp; pass } :: !results))
-        | _ ->
-          problems :=
-            Printf.sprintf "slo line %d: expected 'METRIC OP VALUE', got %S"
-              (lineno + 1) line
-            :: !problems)
-    (String.split_on_char '\n' content);
-  match !problems with
-  | [] -> Ok (List.rev !results)
-  | ps -> Error (String.concat "\n" (List.rev ps))
+  match Slo.check ~lookup:(eval_metric report spans) content with
+  | Error e -> Error e
+  | Ok checks ->
+    Ok
+      (List.map
+         (fun c ->
+           {
+             expr = c.Slo.expr;
+             actual = c.Slo.actual;
+             bound = c.Slo.bound;
+             cmp = c.Slo.cmp;
+             pass = c.Slo.pass;
+           })
+         checks)
 
 (* --- export ------------------------------------------------------- *)
 

@@ -20,6 +20,7 @@ let () =
       "transport", Test_transport.suite;
       "erasure", Test_erasure.suite;
       "sim", Test_sim.suite;
+      "service", Test_service.suite;
       "telemetry", Test_telemetry.suite;
       "encode", Test_encode.suite;
       "parallel", Test_parallel.suite;

@@ -238,4 +238,157 @@ let distributed_tests =
             ignore (D.plan ~clouds [])));
   ]
 
-let suite = unit_tests @ distributed_tests
+(* Transport faults surfacing through the sharded service path: the
+   typed channel blame must arrive in the [Audited] report's
+   [channel] field (never as a false crypto alarm), and retry
+   exhaustion must compose with queue-boundary backpressure. *)
+let service_channel_tests =
+  let open Util in
+  let module Service = Sc_service.Service in
+  let module Transport = Seccloud.Transport in
+  let make ?(retry = Transport.Retry.default) seed =
+    Service.create
+      ~config:
+        {
+          Service.default_config with
+          Service.shards = 1;
+          queue_capacity = 4;
+          drain_quantum = 2;
+          retry;
+        }
+      ~params:Sc_pairing.Params.toy ~seed ()
+  in
+  let submit_ok svc tenant request =
+    match Service.submit svc ~tenant request with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "unexpected rejection: %a" Service.pp_error e
+  in
+  let store_payloads =
+    List.init 4 (fun i -> Sc_storage.Block.encode_ints [ i; i + 7; i * 3 ])
+  in
+  let audited = function
+    | _, _, Service.Audited { report; tampered_in_flight } ->
+      report, tampered_in_flight
+    | _ -> Alcotest.fail "expected an audit response"
+  in
+  [
+    case "service path surfaces Transport_timeout in report.channel"
+      (fun () ->
+        let svc = make "svc-chan-timeout" in
+        submit_ok svc "alice" Service.Admit;
+        submit_ok svc "alice"
+          (Service.Store { file = "f"; payloads = store_payloads });
+        ignore (Service.drain svc);
+        (* Kill the channel: every message dropped, retries exhaust. *)
+        Service.set_faults svc (Transport.lossy ~drop:1.0 ());
+        submit_ok svc "alice" (Service.Audit_storage { file = "f"; samples = 2 });
+        let report, _ = audited (List.hd (Service.drain svc)) in
+        check Alcotest.bool "timeout blamed" true
+          (report.Seccloud.Agency.channel = Some Transport.Timeout);
+        check Alcotest.bool "not intact" false report.Seccloud.Agency.intact;
+        (* Channel blame, not a crypto alarm. *)
+        let l = Service.ledger svc in
+        check Alcotest.int "no crypto alarm" 0 l.Service.audit_alarms;
+        check Alcotest.int "channel blamed" 1 l.Service.channel_blames);
+    case "service path surfaces Transport_tampered in report.channel"
+      (fun () ->
+        (* With the default 5-attempt policy a typed [Tampered] needs
+           five decode-breaking flips in a row — astronomically rare
+           on payload-heavy audit responses, where most single-bit
+           flips land in signature bytes and decode fine.  A
+           single-attempt policy makes one decode-breaking flip
+           surface as the typed blame. *)
+        let retry = { Transport.Retry.default with max_attempts = 1 } in
+        let svc = make ~retry "svc-chan-tamper" in
+        submit_ok svc "alice" Service.Admit;
+        submit_ok svc "alice"
+          (Service.Store { file = "f"; payloads = store_payloads });
+        ignore (Service.drain svc);
+        Service.set_faults svc (Transport.lossy ~tamper:1.0 ());
+        (* A bit flip can break decoding (typed [Tampered] blame after
+           retry exhaustion) or survive it (signature verification
+           fails, with the per-instance fault counter as ground
+           truth).  Both are sound; what must never happen is a failed
+           audit with a clean channel and no injected tampering. *)
+        (* A typed blame needs a decode-breaking flip on *every*
+           retry attempt of one call; each round advances the seeded
+           fault stream, so keep auditing (deterministically) until
+           one lands. *)
+        let blamed = ref 0 in
+        let round = ref 0 in
+        while !blamed = 0 && !round < 64 do
+          incr round;
+          submit_ok svc "alice"
+            (Service.Audit_storage { file = "f"; samples = 2 });
+          let report, tampered_in_flight =
+            audited (List.hd (Service.drain svc))
+          in
+          match report.Seccloud.Agency.channel with
+          | Some Transport.Tampered -> incr blamed
+          | Some Transport.Timeout -> Alcotest.fail "no drops were injected"
+          | None ->
+            (* The flip survived decoding (it may even have verified,
+               e.g. a mangled challenge index answered correctly) —
+               but the fault-layer ground truth must mark the round,
+               so nothing here can ever read as a clean-channel false
+               alarm. *)
+            check Alcotest.bool "fault layer marked the round" true
+              tampered_in_flight
+        done;
+        check Alcotest.bool "typed Tampered blame surfaced" true (!blamed > 0);
+        (* Healing the channel heals the verdicts: same file, clean
+           audit. *)
+        Service.set_faults svc Transport.perfect;
+        submit_ok svc "alice" (Service.Audit_storage { file = "f"; samples = 4 });
+        let report, _ = audited (List.hd (Service.drain svc)) in
+        check Alcotest.bool "intact after healing" true
+          report.Seccloud.Agency.intact;
+        check Alcotest.bool "no blame after healing" true
+          (report.Seccloud.Agency.channel = None));
+    case "retry exhaustion composes with backpressure at the queue boundary"
+      (fun () ->
+        let svc = make "svc-chan-queue" in
+        submit_ok svc "alice" Service.Admit;
+        submit_ok svc "alice"
+          (Service.Store { file = "f"; payloads = store_payloads });
+        ignore (Service.drain svc);
+        Service.set_faults svc (Transport.lossy ~drop:1.0 ());
+        (* Fill the queue to its cap of 4 with audits destined to
+           exhaust their retries... *)
+        for _ = 1 to 4 do
+          submit_ok svc "alice"
+            (Service.Audit_storage { file = "f"; samples = 2 })
+        done;
+        (* ...the 5th request meets typed backpressure... *)
+        (match
+           Service.submit svc ~tenant:"alice"
+             (Service.Compute { file = "f"; n_tasks = 2; samples = 2 })
+         with
+        | Ok () -> Alcotest.fail "queue was full: submit must be rejected"
+        | Error (Service.Overloaded { depth; _ }) ->
+          check Alcotest.int "rejected at cap" 4 depth);
+        (* ...and draining turns every queued round into a typed
+           channel verdict rather than a hang or a crypto alarm. *)
+        let responses = Service.drain svc in
+        check Alcotest.int "all queued audits answered" 4
+          (List.length responses);
+        List.iter
+          (fun r ->
+            let report, _ = audited r in
+            check Alcotest.bool "typed timeout" true
+              (report.Seccloud.Agency.channel = Some Transport.Timeout))
+          responses;
+        (* The rejected compute goes through once there is room. *)
+        submit_ok svc "alice"
+          (Service.Compute { file = "f"; n_tasks = 2; samples = 2 });
+        match Service.drain svc with
+        | [ (_, _, Service.Compute_failed Transport.Timeout) ] -> ()
+        | [ (_, _, Service.Computed { verdict; _ }) ] ->
+          check Alcotest.bool "transport failure in verdict" true
+            (List.exists Sc_audit.Protocol.is_transport_failure
+               verdict.Sc_audit.Protocol.failures)
+        | _ -> Alcotest.fail "expected a typed compute outcome");
+  ]
+
+let suite = unit_tests @ distributed_tests @ service_channel_tests
+

@@ -1,0 +1,355 @@
+(* The sharded multi-tenant service layer: router placement and
+   balance properties, typed backpressure with metric/ledger
+   agreement, cross-domain value identity of whole campaigns, tenant
+   isolation under injected corruption, and the 10k mixed-traffic
+   soak (`Slow). *)
+
+module Service = Sc_service.Service
+module Router = Sc_service.Router
+module Engine = Sc_sim.Engine
+module Telemetry = Sc_telemetry.Telemetry
+module Transport = Seccloud.Transport
+
+let with_domains n f =
+  let saved = Sc_parallel.domain_count () in
+  Sc_parallel.set_domain_count n;
+  Fun.protect ~finally:(fun () -> Sc_parallel.set_domain_count saved) f
+
+let small_service ?(shards = 4) ?(cap = 8) ?(quantum = 3)
+    ?(faults = Transport.perfect) seed =
+  Service.create
+    ~config:
+      {
+        Service.default_config with
+        Service.shards;
+        queue_capacity = cap;
+        drain_quantum = quantum;
+        faults;
+      }
+    ~params:Util.toy_params ~seed ()
+
+let data_drbg = Sc_hash.Drbg.create ~seed:"service-test-data"
+
+let blocks n =
+  List.init n (fun _ ->
+      Sc_storage.Block.encode_ints
+        (List.init 4 (fun _ -> Sc_hash.Drbg.uniform_int data_drbg 1000)))
+
+let submit_ok svc tenant request =
+  match Service.submit svc ~tenant request with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected rejection: %a" Service.pp_error e
+
+let router_tests =
+  let open Util in
+  [
+    qcheck ~count:500 "router: every identity maps to exactly one shard"
+      QCheck2.Gen.(pair string (int_range 1 64))
+      (fun (id, shards) ->
+        let s = Router.shard_of ~shards id in
+        s >= 0 && s < shards && Router.shard_of ~shards id = s);
+    qcheck ~count:200 "router: placement ignores every other identity"
+      QCheck2.Gen.(pair string string)
+      (fun (id, other) ->
+        (* Hash placement is a pure function of the identity alone —
+           hashing [other] first (any registration order) changes
+           nothing. *)
+        let before = Router.shard_of ~shards:16 id in
+        let _ = Router.shard_of ~shards:16 other in
+        Router.shard_of ~shards:16 id = before);
+    case "router: balanced within 20% of the mean at load 2000/shard"
+      (fun () ->
+        let shards = 16 and n = 32_000 in
+        let counts = Array.make shards 0 in
+        for i = 0 to n - 1 do
+          let s = Router.shard_of ~shards (Printf.sprintf "tenant-%08d" i) in
+          counts.(s) <- counts.(s) + 1
+        done;
+        let mean = n / shards in
+        Array.iteri
+          (fun s c ->
+            if c * 5 < mean * 4 || c * 5 > mean * 6 then
+              Alcotest.failf "shard %d holds %d of mean %d (>20%% skew)" s c
+                mean)
+          counts);
+    case "router: rejects a non-positive shard count" (fun () ->
+        Alcotest.check_raises "shards=0"
+          (Invalid_argument "Router.shard_of: shards < 1") (fun () ->
+            ignore (Router.shard_of ~shards:0 "x")));
+  ]
+
+let backpressure_tests =
+  let open Util in
+  [
+    case "saturated queue rejects with typed Overloaded, never drops"
+      (fun () ->
+        let svc = small_service ~shards:1 ~cap:8 "bp-typed" in
+        for i = 0 to 7 do
+          submit_ok svc (Printf.sprintf "t%d" i) Service.Admit
+        done;
+        check Alcotest.int "at capacity" 8 (Service.queue_depth svc 0);
+        (match Service.submit svc ~tenant:"t8" Service.Admit with
+        | Ok () -> Alcotest.fail "submit beyond capacity must be rejected"
+        | Error (Service.Overloaded { shard; depth }) ->
+          check Alcotest.int "rejecting shard" 0 shard;
+          check Alcotest.int "depth at rejection" 8 depth);
+        (* The rejection left the queue untouched. *)
+        check Alcotest.int "depth unchanged" 8 (Service.queue_depth svc 0);
+        let responses = Service.drain svc in
+        check Alcotest.int "all accepted requests processed" 8
+          (List.length responses);
+        (* The rejected request was refused, not silently queued. *)
+        let l = Service.ledger svc in
+        check Alcotest.int "submitted" 9 l.Service.submitted;
+        check Alcotest.int "accepted" 8 l.Service.accepted;
+        check Alcotest.int "rejected" 1 l.Service.rejected;
+        check Alcotest.int "processed" 8 l.Service.processed;
+        (* After draining there is room again. *)
+        submit_ok svc "t8" Service.Admit;
+        ignore (Service.drain svc);
+        check Alcotest.int "late tenant admitted" 9
+          (Service.ledger svc).Service.admitted);
+    case "rejected / queue-depth metrics match the ledger exactly"
+      (fun () ->
+        Telemetry.reset ();
+        let svc = small_service ~shards:1 ~cap:4 "bp-metrics" in
+        for i = 0 to 9 do
+          ignore (Service.submit svc ~tenant:(Printf.sprintf "m%d" i)
+                    Service.Admit)
+        done;
+        let l = Service.ledger svc in
+        check Alcotest.int "ledger rejected" 6 l.Service.rejected;
+        check Alcotest.int "counter service.submitted" l.Service.submitted
+          (Telemetry.counter_value "service.submitted");
+        check Alcotest.int "counter service.accepted" l.Service.accepted
+          (Telemetry.counter_value "service.accepted");
+        check Alcotest.int "counter service.rejected" l.Service.rejected
+          (Telemetry.counter_value "service.rejected");
+        check (Alcotest.float 0.0) "gauge service.queue.depth" 4.0
+          (Telemetry.gauge_value (Telemetry.gauge "service.queue.depth"));
+        check (Alcotest.float 0.0) "gauge service.queue.peak"
+          (float_of_int l.Service.queue_peak)
+          (Telemetry.gauge_value (Telemetry.gauge "service.queue.peak"));
+        ignore (Service.drain svc);
+        let l = Service.ledger svc in
+        check Alcotest.int "counter service.processed" l.Service.processed
+          (Telemetry.counter_value "service.processed");
+        check (Alcotest.float 0.0) "depth gauge back to zero" 0.0
+          (Telemetry.gauge_value (Telemetry.gauge "service.queue.depth")));
+    qcheck ~count:60
+      "random submit/drain interleavings: depth bounded, nothing lost"
+      QCheck2.Gen.(list_size (int_range 1 120) (int_range 0 9))
+      (fun ops ->
+        let cap = 5 in
+        let svc = small_service ~shards:2 ~cap ~quantum:2 "bp-random" in
+        List.iter
+          (fun op ->
+            if op >= 8 then ignore (Service.drain svc)
+            else
+              ignore
+                (Service.submit svc
+                   ~tenant:(Printf.sprintf "r%d" op)
+                   Service.Admit);
+            assert (Service.queue_depth svc 0 <= cap);
+            assert (Service.queue_depth svc 1 <= cap))
+          ops;
+        ignore (Service.drain svc);
+        let l = Service.ledger svc in
+        l.Service.processed = l.Service.accepted
+        && l.Service.submitted = l.Service.accepted + l.Service.rejected
+        && l.Service.queue_peak <= cap
+        && Service.pending svc = 0);
+  ]
+
+(* A small but complete campaign configuration, sized so the quick
+   suite can afford to run it twice (once per domain count). *)
+let small_campaign seed faults =
+  {
+    Engine.default_service_config with
+    Engine.sv_seed = seed;
+    sv_identities = 600;
+    sv_lookup_stride = 7;
+    sv_heavy = 8;
+    sv_corrupt = 2;
+    sv_audit_rounds = 1;
+    sv_service =
+      {
+        Service.default_config with
+        Service.shards = 8;
+        queue_capacity = 64;
+        drain_quantum = 8;
+        faults;
+      };
+  }
+
+let campaign_fingerprint (s : Engine.service_stats) =
+  ( s.Engine.sv_digest,
+    s.Engine.sv_ledger,
+    Array.to_list s.Engine.sv_shard_tenants,
+    (s.Engine.sv_false_alarms, s.Engine.sv_detected, s.Engine.sv_missed) )
+
+let identity_tests =
+  let open Util in
+  [
+    case "campaign results value-identical at 1 vs 4 domains" (fun () ->
+        let cfg = small_campaign "svc-identity" Transport.perfect in
+        let a = with_domains 1 (fun () -> Engine.run_service cfg) in
+        let b = with_domains 4 (fun () -> Engine.run_service cfg) in
+        check Alcotest.bool "fingerprints agree" true
+          (campaign_fingerprint a = campaign_fingerprint b);
+        check Alcotest.string "digest" a.Engine.sv_digest b.Engine.sv_digest;
+        check Alcotest.int "admitted" 600
+          a.Engine.sv_ledger.Service.admitted);
+    slow_case "faulty-channel campaign value-identical at 1 vs 4 domains"
+      (fun () ->
+        let cfg =
+          small_campaign "svc-identity-lossy"
+            (Transport.lossy ~drop:0.1 ~tamper:0.05 ())
+        in
+        let a = with_domains 1 (fun () -> Engine.run_service cfg) in
+        let b = with_domains 4 (fun () -> Engine.run_service cfg) in
+        check Alcotest.bool "fingerprints agree" true
+          (campaign_fingerprint a = campaign_fingerprint b));
+  ]
+
+let isolation_tests =
+  let open Util in
+  [
+    case "corruption is isolated: co-resident tenants never blamed"
+      (fun () ->
+        (* One shard, so every tenant is co-resident with the rotten
+           one. *)
+        let svc = small_service ~shards:1 ~cap:64 ~quantum:8 "isolation" in
+        let tenants = [ "evil"; "good-a"; "good-b"; "good-c" ] in
+        List.iter
+          (fun t ->
+            submit_ok svc t Service.Admit;
+            submit_ok svc t (Service.Store { file = "f"; payloads = blocks 4 }))
+          tenants;
+        ignore (Service.drain svc);
+        submit_ok svc "evil" (Service.Corrupt { file = "f" });
+        ignore (Service.drain svc);
+        for _round = 1 to 3 do
+          List.iter
+            (fun t ->
+              submit_ok svc t
+                (Service.Audit_storage { file = "f"; samples = 4 }))
+            tenants;
+          List.iter
+            (fun (t, _req, response) ->
+              match response with
+              | Service.Audited { report; _ } ->
+                (* Full coverage (samples = blocks): the corrupted
+                   file always fails, the honest ones never do. *)
+                check Alcotest.bool (t ^ " intact") (t <> "evil")
+                  report.Seccloud.Agency.intact
+              | _ -> Alcotest.fail "expected an audit response")
+            (Service.drain svc)
+        done;
+        let l = Service.ledger svc in
+        check Alcotest.int "alarms only for the corrupted tenant" 3
+          l.Service.audit_alarms);
+    case "tenant-qualified storage: same file name, different tenants"
+      (fun () ->
+        let svc = small_service ~shards:1 ~cap:16 "qualified" in
+        submit_ok svc "alice" Service.Admit;
+        submit_ok svc "bob" Service.Admit;
+        submit_ok svc "alice"
+          (Service.Store { file = "report"; payloads = blocks 3 });
+        submit_ok svc "bob"
+          (Service.Store { file = "report"; payloads = blocks 5 });
+        ignore (Service.drain svc);
+        submit_ok svc "alice" Service.Lookup;
+        submit_ok svc "bob" Service.Lookup;
+        List.iter
+          (fun (_t, _req, response) ->
+            match response with
+            | Service.Info { known; files } ->
+              check Alcotest.bool "known" true known;
+              check Alcotest.int "one file each" 1 files
+            | _ -> Alcotest.fail "expected lookup info")
+          (Service.drain svc);
+        (* Both uploads audit clean: bob's 5-block "report" did not
+           overwrite alice's 3-block one. *)
+        submit_ok svc "alice"
+          (Service.Audit_storage { file = "report"; samples = 3 });
+        submit_ok svc "bob"
+          (Service.Audit_storage { file = "report"; samples = 5 });
+        List.iter
+          (fun (t, _req, response) ->
+            match response with
+            | Service.Audited { report; _ } ->
+              check Alcotest.bool (t ^ " intact") true
+                report.Seccloud.Agency.intact
+            | _ -> Alcotest.fail "expected an audit response")
+          (Service.drain svc));
+    case "requests for unknown tenants and files are denied, typed"
+      (fun () ->
+        let svc = small_service ~shards:2 ~cap:16 "denied" in
+        submit_ok svc "ghost" (Service.Audit_storage { file = "f"; samples = 1 });
+        submit_ok svc "known" Service.Admit;
+        ignore (Service.drain svc);
+        submit_ok svc "known" (Service.Corrupt { file = "nope" });
+        submit_ok svc "known" (Service.Store { file = "e"; payloads = [] });
+        let denied =
+          List.filter_map
+            (fun (_t, _req, r) ->
+              match r with Service.Denied d -> Some d | _ -> None)
+            (Service.drain svc)
+        in
+        check Alcotest.int "both denied" 2 (List.length denied);
+        check Alcotest.int "denials ledger" 3 (Service.ledger svc).Service.denials);
+  ]
+
+let soak_tests =
+  let open Util in
+  [
+    slow_case "10k-identity mixed soak over a lossy channel" (fun () ->
+        Telemetry.reset ();
+        let cfg =
+          {
+            Engine.default_service_config with
+            Engine.sv_seed = "soak-10k";
+            sv_identities = 10_000;
+            sv_lookup_stride = 8;
+            sv_heavy = 32;
+            sv_corrupt = 8;
+            sv_audit_rounds = 2;
+            sv_service =
+              {
+                Service.default_config with
+                Service.shards = 16;
+                queue_capacity = 256;
+                drain_quantum = 32;
+                faults = Transport.lossy ~drop:0.05 ~tamper:0.02 ();
+              };
+          }
+        in
+        let stats = Engine.run_service cfg in
+        let l = stats.Engine.sv_ledger in
+        (* Soundness: ground truth is never contradicted — no honest
+           tenant flagged by crypto alone, no corrupted file passing a
+           full-coverage storage audit. *)
+        check Alcotest.int "false alarms" 0 stats.Engine.sv_false_alarms;
+        check Alcotest.int "missed corruptions" 0 stats.Engine.sv_missed;
+        check Alcotest.bool "corruption detected" true
+          (stats.Engine.sv_detected > 0);
+        (* Scale and accounting. *)
+        check Alcotest.int "all identities admitted" 10_000
+          l.Service.admitted;
+        check Alcotest.int "every accepted request processed"
+          l.Service.accepted l.Service.processed;
+        check Alcotest.bool "queue peak within capacity" true
+          (l.Service.queue_peak <= 256);
+        check Alcotest.int "tenants spread over all shards" 16
+          (Array.length
+             (Array.of_list
+                (List.filter (fun c -> c > 0)
+                   (Array.to_list stats.Engine.sv_shard_tenants))));
+        (* No leaked spans across the whole campaign. *)
+        check Alcotest.int "open spans" 0 (Telemetry.open_spans ()));
+  ]
+
+let suite =
+  router_tests @ backpressure_tests @ identity_tests @ isolation_tests
+  @ soak_tests
