@@ -1,7 +1,7 @@
 # Convenience entry points; everything is plain dune underneath.
 
 .PHONY: build test test-slow lint bench bench-check metrics-check \
-	service-check repro clean
+	service-check dynamic-check repro clean
 
 build:
 	dune build
@@ -36,8 +36,16 @@ bench-check:
 	$(MAKE) lint
 	$(MAKE) test-slow
 	dune exec bench/quick.exe
+	$(MAKE) dynamic-check
 	$(MAKE) metrics-check
 	$(MAKE) service-check
+
+# Authenticated-dynamics flatness gate: per-update cost on the
+# persistent Merkle tree must stay within 2x as files grow 16k -> 1M
+# blocks (O(log n), not rebuild).  Writes BENCH_dynamic.json; exits 1
+# on regression.
+dynamic-check:
+	dune exec bench/dynamic.exe
 
 # The sharded multi-tenant service layer, end to end.  First a small
 # campaign re-run at two domain counts (--identity-check exits 1

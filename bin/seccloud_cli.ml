@@ -121,8 +121,8 @@ let simulate epochs servers byzantine users drop tamper seed trace =
    campaign at a different domain count to prove the results are
    value-identical (--identity-check, exit 1 on digest mismatch). *)
 let simulate_service ~identities ~shards ~heavy ~corrupt ~queue_cap ~quantum
-    ~lookup_stride ~audit_rounds ~drop ~tamper ~seed ~trace ~out ~slo
-    ~identity_check =
+    ~lookup_stride ~audit_rounds ~dynamic_ops ~drop ~tamper ~seed ~trace ~out
+    ~slo ~identity_check =
   let cfg =
     {
       Sc_sim.Engine.default_service_config with
@@ -132,6 +132,7 @@ let simulate_service ~identities ~shards ~heavy ~corrupt ~queue_cap ~quantum
       sv_corrupt = corrupt;
       sv_lookup_stride = lookup_stride;
       sv_audit_rounds = audit_rounds;
+      sv_dynamic_ops = dynamic_ops;
       sv_service =
         {
           Sc_service.Service.default_config with
@@ -167,6 +168,11 @@ let simulate_service ~identities ~shards ~heavy ~corrupt ~queue_cap ~quantum
     stats.Sc_sim.Engine.sv_audits_per_sec stats.Sc_sim.Engine.sv_detected
     stats.Sc_sim.Engine.sv_missed stats.Sc_sim.Engine.sv_false_alarms
     l.Sc_service.Service.channel_blames;
+  if l.Sc_service.Service.mutations > 0 then
+    Printf.printf
+      "dynamics: %d mutation bursts (%d ops applied), %d alarms\n"
+      l.Sc_service.Service.mutations l.Sc_service.Service.mutation_ops
+      l.Sc_service.Service.mutation_alarms;
   List.iter
     (fun p ->
       Printf.printf "  %-16s count=%-8d p50=%.0fus p99=%.0fus\n"
@@ -270,6 +276,9 @@ let serve preset seed shards queue_cap quantum =
     | Service.Compute_failed e ->
       "compute failed: " ^ Seccloud.Transport.error_to_string e
     | Service.Corrupted -> "corrupted (injected storage rot)"
+    | Service.Mutated { applied; blocks; intact; diverged } ->
+      Printf.sprintf "mutated ops=%d blocks=%d intact=%b diverged=%b" applied
+        blocks intact diverged
     | Service.Denied Service.Unknown_tenant -> "denied: unknown tenant"
     | Service.Denied Service.Unknown_file -> "denied: unknown file"
     | Service.Denied Service.Empty_upload -> "denied: empty upload"
@@ -291,8 +300,9 @@ let serve preset seed shards queue_cap quantum =
   let drbg = Sc_hash.Drbg.create ~seed:("serve-data:" ^ seed) in
   Printf.printf
     "seccloud service on %d shards (params=%s). Commands: admit T | lookup T \
-     | store T FILE [BLOCKS [INTS]] | corrupt T FILE | audit T FILE \
-     [SAMPLES] | compute T FILE [TASKS [SAMPLES]] | stats | quit\n"
+     | store T FILE [BLOCKS [INTS]] | corrupt T FILE | mutate T FILE [OPS] \
+     | audit T FILE [SAMPLES] | compute T FILE [TASKS [SAMPLES]] | stats | \
+     quit\n"
     shards preset;
   let rec loop () =
     match input_line stdin with
@@ -335,6 +345,9 @@ let serve preset seed shards queue_cap quantum =
         loop ()
       | "corrupt" :: t :: file :: _ ->
         submit t (Service.Corrupt { file });
+        loop ()
+      | "mutate" :: t :: file :: _ ->
+        submit t (Service.Mutate { file; ops = int_at 6 (arg 3) });
         loop ()
       | "audit" :: t :: file :: _ ->
         submit t (Service.Audit_storage { file; samples = int_at 4 (arg 3) });
@@ -712,11 +725,11 @@ let trace_file_arg =
 
 let simulate_main epochs servers byzantine users drop tamper seed trace
     service identities shards heavy corrupt queue_cap quantum lookup_stride
-    audit_rounds out slo identity_check =
+    audit_rounds dynamic_ops out slo identity_check =
   if service then
     simulate_service ~identities ~shards ~heavy ~corrupt ~queue_cap ~quantum
-      ~lookup_stride ~audit_rounds ~drop ~tamper ~seed ~trace ~out ~slo
-      ~identity_check
+      ~lookup_stride ~audit_rounds ~dynamic_ops ~drop ~tamper ~seed ~trace
+      ~out ~slo ~identity_check
   else simulate epochs servers byzantine users drop tamper seed trace
 
 let simulate_cmd =
@@ -774,6 +787,15 @@ let simulate_cmd =
       value & opt int 2
       & info [ "audit-rounds" ] ~doc:"Service mode: audit rounds.")
   in
+  let dynamic_ops =
+    Arg.(
+      value & opt int 6
+      & info [ "dynamic-ops" ]
+          ~doc:
+            "Service mode: dynamic mutation ops (update/append/tombstone) \
+             per heavy tenant, one signed root transition per burst; 0 \
+             disables the mutation wave.")
+  in
   let out =
     Arg.(
       value
@@ -801,7 +823,7 @@ let simulate_cmd =
       const simulate_main $ epochs $ servers $ byzantine $ users $ drop_arg
       $ tamper_arg $ seed_arg $ trace_file_arg $ service $ identities $ shards
       $ heavy $ corrupt $ queue_cap $ quantum $ lookup_stride $ audit_rounds
-      $ out $ slo $ identity_check)
+      $ dynamic_ops $ out $ slo $ identity_check)
 
 let serve_cmd =
   let shards =

@@ -31,18 +31,26 @@ let () =
 
   (* Amend an invoice: the client verifies the server's pre-state
      proof and derives the new root in O(log n) hashes. *)
-  assert (D.update client server ~index:2 "invoice-0002-rev2");
+  let ok = function Ok _ -> true | Error _ -> false in
+  assert (ok (D.update client server ~index:2 "invoice-0002-rev2"));
   show_root "after update of #2" (D.root client);
 
-  (* Month end: append two invoices. *)
-  assert (D.append client server "invoice-0008");
-  assert (D.append client server "invoice-0009");
+  (* Month end: a batch of appends is one root transition — the owner
+     signs a single root statement for the lot. *)
+  assert (
+    ok
+      (D.batch client server
+         [
+           D.Append { payload = "invoice-0008" };
+           D.Append { payload = "invoice-0009" };
+         ]));
   show_root "after appending two" (D.root client);
-  Printf.printf "%-34s count=%d (client-side state is just root+count)\n" ""
+  Printf.printf "%-34s count=%d (client keeps an O(log n) frontier)\n" ""
     (D.count client);
 
-  (* Legal hold expires: delete (tombstone) an old invoice. *)
-  assert (D.delete client server ~index:0);
+  (* Legal hold expires: delete (tombstone) an old invoice.  Deletion
+     is a typed leaf state, so no payload bytes can fake it. *)
+  assert (ok (D.delete client server ~index:0));
   let rp = Option.get (D.read server 0) in
   Printf.printf "%-34s deleted=%b, still authenticated=%b\n"
     "after delete of #0" (D.is_deleted rp)
@@ -51,7 +59,7 @@ let () =
   (* A stale proof (captured before the update) no longer verifies —
      rollback/replay protection. *)
   let stale = Option.get (D.read server 2) in
-  assert (D.update client server ~index:2 "invoice-0002-rev3");
+  assert (ok (D.update client server ~index:2 "invoice-0002-rev3"));
   Printf.printf "%-34s stale proof accepted=%b\n" "replay protection"
     (D.verify_read client ~index:2 stale);
 
@@ -67,7 +75,7 @@ let () =
     report.D.valid report.D.sampled report.D.intact;
 
   (* Server drift after the statement is caught. *)
-  assert (D.update client server ~index:1 "sneaky-edit");
+  assert (ok (D.update client server ~index:1 "sneaky-edit"));
   let report2 =
     D.audit pub ~verifier_key:da ~owner:"alice" ~file:"invoices"
       ~root_statement:stmt server
@@ -75,4 +83,12 @@ let () =
       ~samples:10
   in
   Printf.printf "DA audit against stale statement: intact=%b (drift detected)\n"
-    report2.D.intact
+    report2.D.intact;
+
+  (* A lazy server that stops maintaining its tree is caught at the
+     very mutation that diverged, not on the next read. *)
+  D.make_lazy server;
+  (match D.update client server ~index:3 "never-lands" with
+  | Error (D.Diverged _) ->
+    Printf.printf "lazy server: divergence caught at update time\n"
+  | Ok () | Error _ -> assert false)

@@ -17,6 +17,10 @@ type proof = { leaf_index : int; path : (side * string) list }
 val leaf_hash : string -> string
 (** Domain-separated hash of a leaf payload. *)
 
+val node_hash : string -> string -> string
+(** Domain-separated interior-node hash, Ω(V) = H("node:" ‖ l ‖ r).
+    Exposed so {!Dynamic_tree} produces bit-identical roots. *)
+
 val build : string list -> t
 (** Builds from leaf *payloads* (hashed internally).
     @raise Invalid_argument on the empty list. *)

@@ -35,6 +35,7 @@ type request =
   | Corrupt of { file : string }
   | Audit_storage of { file : string; samples : int }
   | Compute of { file : string; n_tasks : int; samples : int }
+  | Mutate of { file : string; ops : int }
 
 type denial = Unknown_tenant | Unknown_file | Empty_upload
 
@@ -47,6 +48,7 @@ type response =
   | Computed of { verdict : Protocol.verdict; tampered_in_flight : bool }
   | Compute_failed of Transport.error
   | Corrupted
+  | Mutated of { applied : int; blocks : int; intact : bool; diverged : bool }
   | Denied of denial
 
 type error = Overloaded of { shard : int; depth : int }
@@ -68,6 +70,9 @@ type ledger = {
   audit_alarms : int;
   computes : int;
   compute_alarms : int;
+  mutations : int;
+  mutation_ops : int;
+  mutation_alarms : int;
   channel_blames : int;
   denials : int;
   queue_peak : int;
@@ -90,6 +95,9 @@ type tally = {
   mutable t_audit_alarms : int;
   mutable t_computes : int;
   mutable t_compute_alarms : int;
+  mutable t_mutations : int;
+  mutable t_mutation_ops : int;
+  mutable t_mutation_alarms : int;
   mutable t_channel_blames : int;
   mutable t_denials : int;
   mutable t_queue_peak : int;
@@ -110,6 +118,9 @@ let fresh_tally () =
     t_audit_alarms = 0;
     t_computes = 0;
     t_compute_alarms = 0;
+    t_mutations = 0;
+    t_mutation_ops = 0;
+    t_mutation_alarms = 0;
     t_channel_blames = 0;
     t_denials = 0;
     t_queue_peak = 0;
@@ -119,6 +130,9 @@ type tenant = {
   mutable files : (string * int) list;  (* file -> block count *)
   mutable user : User.t option;  (* signing handle, built at first store *)
   mutable warrant : Sc_ibc.Warrant.signed option;
+  mutable dyn :
+    (string * (Sc_storage.Dynamic.client * Sc_storage.Dynamic.server)) list;
+      (* file -> dynamic-storage view, built at first Mutate *)
 }
 
 type queued = {
@@ -299,6 +313,7 @@ let summarize_request = function
   | Audit_storage { file; samples } -> [ file; string_of_int samples ]
   | Compute { file; n_tasks; samples } ->
     [ file; string_of_int n_tasks; string_of_int samples ]
+  | Mutate { file; ops } -> [ file; string_of_int ops ]
 
 (* Deterministic response summary folded into the shard digest: every
    field here is schedule-independent, so the combined digest is the
@@ -333,6 +348,15 @@ let summarize tenant response =
     ]
   | Compute_failed e -> [ "compute-failed"; tenant; transport_error_tag e ]
   | Corrupted -> [ "corrupt"; tenant ]
+  | Mutated { applied; blocks; intact; diverged } ->
+    [
+      "mutate";
+      tenant;
+      string_of_int applied;
+      string_of_int blocks;
+      string_of_bool intact;
+      string_of_bool diverged;
+    ]
   | Denied d -> [ "denied"; tenant; denial_tag d ]
 
 let op_name = function
@@ -342,6 +366,7 @@ let op_name = function
   | Corrupt _ -> "corrupt"
   | Audit_storage _ -> "audit"
   | Compute _ -> "compute"
+  | Mutate _ -> "mutate"
 
 let get_user t tenant_id record =
   match record.user with
@@ -483,6 +508,90 @@ let do_compute sh tenant record ~file ~n_tasks ~samples =
          invalid verdict, not a channel blame. *)
       finish { Protocol.valid = false; failures = [ Protocol.Warrant_invalid ] })
 
+(* Authenticated dynamics over the tenant's stored file: a burst of
+   update/append/tombstone ops against a Storage.Dynamic view (built
+   lazily from the retained upload), each op proof-checked, the whole
+   burst one root transition, then a DA-style rank-proof audit of the
+   result.  Every index draw comes from the shard DRBG, so the op mix
+   — and hence the digest — is schedule-independent. *)
+module Dynamic = Sc_storage.Dynamic
+
+let dyn_view t sh tenant record ~file ~qfile =
+  match List.assoc_opt file record.dyn with
+  | Some pair -> Some pair
+  | None -> (
+    match Hashtbl.find_opt sh.uploads qfile with
+    | None -> None
+    | Some upload ->
+      let payloads =
+        Array.to_list
+          (Array.map
+             (fun sb -> sb.Sc_storage.Signer.block.Sc_storage.Block.data)
+             upload.Sc_storage.Signer.blocks)
+      in
+      let key = System.register_user t.system tenant in
+      let pair =
+        Dynamic.init (System.public t.system) key
+          ~bytes_source:(System.bytes_source t.system)
+          ~cs_id:sh.cs_id
+          ~da_id:(System.da_id t.system)
+          ~file:qfile payloads
+      in
+      record.dyn <- (file, pair) :: record.dyn;
+      Some pair)
+
+let do_mutate t sh tenant record ~file ~ops =
+  let qfile = qualify ~tenant ~file in
+  match
+    if List.mem_assoc file record.files then
+      dyn_view t sh tenant record ~file ~qfile
+    else None
+  with
+  | None ->
+    sh.tally.t_denials <- sh.tally.t_denials + 1;
+    Denied Unknown_file
+  | Some (dc, ds) ->
+    let applied = ref 0 and diverged = ref false in
+    for i = 1 to ops do
+      let n = Dynamic.count dc in
+      let index = Drbg.uniform_int sh.drbg n in
+      let payload =
+        Printf.sprintf "mut:%s:%d:%d" file i (Drbg.uniform_int sh.drbg 10_000)
+      in
+      let result =
+        match Drbg.uniform_int sh.drbg 4 with
+        | 0 | 1 -> Dynamic.update dc ds ~index payload
+        | 2 -> Dynamic.append dc ds payload
+        | _ -> Dynamic.delete dc ds ~index
+      in
+      match result with
+      | Ok () -> incr applied
+      | Error (Dynamic.Diverged _) -> diverged := true
+      | Error _ -> ()
+    done;
+    (* One signed root statement covers the whole burst; the audit
+       checks rank proofs against it. *)
+    let stmt =
+      Dynamic.publish_root dc ~bytes_source:(System.bytes_source t.system)
+    in
+    let report =
+      Dynamic.audit (System.public t.system)
+        ~verifier_key:(System.da_key t.system) ~owner:tenant ~file:qfile
+        ~root_statement:stmt ds ~drbg:sh.drbg
+        ~samples:(min 8 (Dynamic.count dc))
+    in
+    sh.tally.t_mutations <- sh.tally.t_mutations + 1;
+    sh.tally.t_mutation_ops <- sh.tally.t_mutation_ops + !applied;
+    if (not report.Dynamic.intact) || !diverged then
+      sh.tally.t_mutation_alarms <- sh.tally.t_mutation_alarms + 1;
+    Mutated
+      {
+        applied = !applied;
+        blocks = Dynamic.count dc;
+        intact = report.Dynamic.intact;
+        diverged = !diverged;
+      }
+
 let process t sh { q_tenant = tenant; q_request = request; q_ctx } =
   let response =
     Telemetry.with_context q_ctx @@ fun () ->
@@ -494,7 +603,7 @@ let process t sh { q_tenant = tenant; q_request = request; q_ctx } =
     | Admit, Some _ -> Admitted { shard = sh.index }
     | Admit, None ->
       Hashtbl.replace sh.tenants tenant
-        { files = []; user = None; warrant = None };
+        { files = []; user = None; warrant = None; dyn = [] };
       sh.tally.t_admitted <- sh.tally.t_admitted + 1;
       Admitted { shard = sh.index }
     | Lookup, record ->
@@ -512,6 +621,8 @@ let process t sh { q_tenant = tenant; q_request = request; q_ctx } =
       do_audit sh tenant record ~file ~samples
     | Compute { file; n_tasks; samples }, Some record ->
       do_compute sh tenant record ~file ~n_tasks ~samples
+    | Mutate { file; ops }, Some record ->
+      do_mutate t sh tenant record ~file ~ops
   in
   sh.tally.t_processed <- sh.tally.t_processed + 1;
   Telemetry.incr c_processed;
@@ -579,6 +690,9 @@ let ledger t =
         audit_alarms = acc.audit_alarms + y.t_audit_alarms;
         computes = acc.computes + y.t_computes;
         compute_alarms = acc.compute_alarms + y.t_compute_alarms;
+        mutations = acc.mutations + y.t_mutations;
+        mutation_ops = acc.mutation_ops + y.t_mutation_ops;
+        mutation_alarms = acc.mutation_alarms + y.t_mutation_alarms;
         channel_blames = acc.channel_blames + y.t_channel_blames;
         denials = acc.denials + y.t_denials;
         queue_peak = max acc.queue_peak y.t_queue_peak;
@@ -597,6 +711,9 @@ let ledger t =
       audit_alarms = 0;
       computes = 0;
       compute_alarms = 0;
+      mutations = 0;
+      mutation_ops = 0;
+      mutation_alarms = 0;
       channel_blames = 0;
       denials = 0;
       queue_peak = 0;

@@ -66,6 +66,13 @@ type request =
   | Compute of { file : string; n_tasks : int; samples : int }
       (** Protocol III + IV over the wire: random service, commitment,
           Algorithm-1 audit *)
+  | Mutate of { file : string; ops : int }
+      (** authenticated dynamics: a DRBG-driven burst of [ops]
+          update / append / tombstone operations against a
+          {!Sc_storage.Dynamic} view of the stored file (built lazily
+          from the retained upload), every op proof-checked in
+          O(log n), the burst one signed root transition, followed by
+          a rank-proof audit of the result *)
 
 type denial = Unknown_tenant | Unknown_file | Empty_upload
 
@@ -88,6 +95,13 @@ type response =
   | Compute_failed of Seccloud.Transport.error
       (** the compute request itself exhausted its retries *)
   | Corrupted
+  | Mutated of {
+      applied : int;  (** ops that passed their pre-state proof *)
+      blocks : int;  (** block count after the burst *)
+      intact : bool;  (** post-burst rank-proof audit verdict *)
+      diverged : bool;
+          (** some op caught the server's root off the client's *)
+    }
   | Denied of denial
 
 type error = Overloaded of { shard : int; depth : int }
@@ -114,6 +128,10 @@ type ledger = {
   audit_alarms : int;  (** audits not intact with a clean channel *)
   computes : int;
   compute_alarms : int;  (** invalid verdicts with a clean channel *)
+  mutations : int;  (** Mutate bursts processed *)
+  mutation_ops : int;  (** individual dynamic ops applied *)
+  mutation_alarms : int;
+      (** bursts whose audit failed or that caught a diverging server *)
   channel_blames : int;  (** rounds blamed on the transport *)
   denials : int;
   queue_peak : int;  (** max per-shard queue length ever observed *)

@@ -391,6 +391,7 @@ type service_config = {
   sv_tasks : int;
   sv_samples : int;
   sv_audit_rounds : int;
+  sv_dynamic_ops : int;
 }
 
 let default_service_config =
@@ -407,6 +408,7 @@ let default_service_config =
     sv_tasks = 4;
     sv_samples = 4;
     sv_audit_rounds = 2;
+    sv_dynamic_ops = 6;
   }
 
 type service_protocol = {
@@ -432,7 +434,8 @@ type service_stats = {
 }
 
 let service_tenant_name i = Printf.sprintf "tenant-%08d" i
-let service_ops = [ "admit"; "lookup"; "store"; "corrupt"; "audit"; "compute" ]
+let service_ops =
+  [ "admit"; "lookup"; "store"; "corrupt"; "mutate"; "audit"; "compute" ]
 
 let ns_to_s ns = Int64.to_float ns /. 1e9
 
@@ -498,6 +501,12 @@ let run_service cfg =
             else if tampered_in_flight then incr suspected
             else incr false_alarms
           end
+        | Service.Mutated { intact; diverged; _ } ->
+          (* The dynamic view is built from the retained (honest)
+             upload and only mutated through proof-checked ops, so any
+             failed audit or caught divergence is a false alarm by
+             ground truth. *)
+          if (not intact) || diverged then incr false_alarms
         | _ -> ())
       results
   in
@@ -542,6 +551,16 @@ let run_service cfg =
       if j < cfg.sv_corrupt then submit id (Service.Corrupt { file }))
     heavy;
   classify (Service.drain svc);
+  (* Wave 3b: authenticated dynamics — every heavy tenant runs a
+     mutation burst (update/append/tombstone) against a dynamic view
+     of its file, ending in one signed root transition and a
+     rank-proof audit. *)
+  if cfg.sv_dynamic_ops > 0 then begin
+    List.iter
+      (fun id -> submit id (Service.Mutate { file; ops = cfg.sv_dynamic_ops }))
+      heavy;
+    classify (Service.drain svc)
+  end;
   (* Wave 4: audit rounds — storage and computation audits for every
      heavy tenant. *)
   let t_audit = Telemetry.now_ns () in
@@ -626,6 +645,9 @@ let service_metrics cfg stats =
       "audit_alarms", float_of_int l.Service.audit_alarms;
       "computes", float_of_int l.Service.computes;
       "compute_alarms", float_of_int l.Service.compute_alarms;
+      "mutations", float_of_int l.Service.mutations;
+      "mutation_ops", float_of_int l.Service.mutation_ops;
+      "mutation_alarms", float_of_int l.Service.mutation_alarms;
       "channel_blames", float_of_int l.Service.channel_blames;
       "denials", float_of_int l.Service.denials;
       "queue_peak", float_of_int l.Service.queue_peak;

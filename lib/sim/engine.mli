@@ -104,11 +104,17 @@ type service_config = {
       (** audit sample size; >= blocks_per_file means full coverage,
           so a corrupted block can never be missed by sampling *)
   sv_audit_rounds : int;
+  sv_dynamic_ops : int;
+      (** dynamic mutation ops per heavy tenant (update / append /
+          tombstone bursts against a {!Sc_storage.Dynamic} view of the
+          stored file, one signed root transition per burst, audited
+          with rank proofs); 0 disables the mutation wave *)
 }
 
 val default_service_config : service_config
 (** Toy params: 20k identities, 64 heavy tenants (8 corrupted),
-    2 audit rounds, the default service config. *)
+    2 audit rounds, 6 dynamic ops per heavy tenant, the default
+    service config. *)
 
 type service_protocol = {
   sp_name : string;  (** span name, e.g. ["service.audit"] *)

@@ -115,4 +115,244 @@ let property_tests =
           (T.build_of_hashes (List.map T.leaf_hash leaves)));
   ]
 
-let suite = unit_tests @ property_tests
+(* --- Dynamic_tree: persistent path-copying twin of Tree -------------- *)
+
+module Dt = Sc_merkle.Dynamic_tree
+
+let dyn_sizes = [ 1; 2; 3; 5; 7; 8; 9; 15; 16; 17; 31; 32; 33 ]
+
+let payloads tag n = List.init n (Printf.sprintf "%s-%d-%d" tag n)
+
+let same_root payloads dt =
+  String.equal (T.root (T.build payloads)) (Dt.root dt)
+
+let with_domains n f =
+  let saved = Sc_parallel.domain_count () in
+  Sc_parallel.set_domain_count n;
+  Fun.protect ~finally:(fun () -> Sc_parallel.set_domain_count saved) f
+
+let dynamic_unit_tests =
+  let open Util in
+  [
+    case "dynamic: roots equal Tree.build at every size" (fun () ->
+        List.iter
+          (fun n ->
+            let ps = payloads "eq" n in
+            if not (same_root ps (Dt.build ps)) then
+              Alcotest.failf "size %d root mismatch" n)
+          dyn_sizes);
+    case "dynamic: rank proofs verify at every size and index" (fun () ->
+        List.iter
+          (fun n ->
+            let ps = payloads "pf" n in
+            let t = Dt.build ps in
+            List.iteri
+              (fun i p ->
+                let proof = Dt.proof t i in
+                if
+                  not
+                    (Dt.verify_payload ~root:(Dt.root t) ~leaf_payload:p proof)
+                then Alcotest.failf "size %d index %d" n i;
+                if proof.Dt.total <> n || proof.Dt.index <> i then
+                  Alcotest.failf "size %d index %d: bad annotations" n i)
+              ps)
+          dyn_sizes);
+    case "dynamic: proof geometry matches expected_geometry" (fun () ->
+        List.iter
+          (fun n ->
+            let t = Dt.build (payloads "geo" n) in
+            for i = 0 to n - 1 do
+              let p = Dt.proof t i in
+              let geom = List.map (fun (s, r, _) -> (s, r)) p.Dt.path in
+              if geom <> Dt.expected_geometry ~total:n ~index:i then
+                Alcotest.failf "size %d index %d geometry" n i
+            done)
+          dyn_sizes);
+    case "dynamic: relocated proof fails (position binding)" (fun () ->
+        (* A server cannot serve leaf j's data under index i: the claim
+           (index, total) fixes the path geometry arithmetically. *)
+        let n = 11 in
+        let ps = payloads "rel" n in
+        let t = Dt.build ps in
+        let p3 = Dt.proof t 3 in
+        let relabelled = { p3 with Dt.index = 5 } in
+        check Alcotest.bool "relabelled index" false
+          (Dt.verify_payload ~root:(Dt.root t) ~leaf_payload:(List.nth ps 3)
+             relabelled);
+        let stretched = { p3 with Dt.total = n + 1 } in
+        check Alcotest.bool "inflated total" false
+          (Dt.verify_payload ~root:(Dt.root t) ~leaf_payload:(List.nth ps 3)
+             stretched);
+        let swapped =
+          { (Dt.proof t 6) with Dt.index = 3 }
+        in
+        check Alcotest.bool "leaf 6 as leaf 3" false
+          (Dt.verify_payload ~root:(Dt.root t) ~leaf_payload:(List.nth ps 6)
+             swapped));
+    case "dynamic: modify at every size and index equals rebuild" (fun () ->
+        List.iter
+          (fun n ->
+            let ps = payloads "mod" n in
+            let t = Dt.build ps in
+            for i = 0 to n - 1 do
+              let ps' = List.mapi (fun j p -> if j = i then "new!" else p) ps in
+              let t' = Dt.modify t i (Dt.leaf_hash "new!") in
+              if not (same_root ps' t') then Alcotest.failf "size %d idx %d" n i;
+              (* persistence: the original version is untouched *)
+              if not (same_root ps t) then Alcotest.failf "size %d mutated" n
+            done)
+          [ 1; 2; 3; 5; 7; 9; 16; 17; 33 ]);
+    case "dynamic: append chain equals rebuild at every length" (fun () ->
+        let rec go t ps n =
+          if n <= 40 then begin
+            let p = Printf.sprintf "app-%d" n in
+            let ps = ps @ [ p ] in
+            let t = Dt.append t (Dt.leaf_hash p) in
+            if not (same_root ps t) then Alcotest.failf "length %d" n;
+            go t ps (n + 1)
+          end
+        in
+        go (Dt.build [ "app-0" ]) [ "app-0" ] 1);
+    case "dynamic: insert at every position equals rebuild" (fun () ->
+        List.iter
+          (fun n ->
+            let ps = payloads "ins" n in
+            let t = Dt.build ps in
+            for at = 0 to n do
+              let ps' =
+                List.filteri (fun j _ -> j < at) ps
+                @ [ "inserted" ]
+                @ List.filteri (fun j _ -> j >= at) ps
+              in
+              if not (same_root ps' (Dt.insert t ~at (Dt.leaf_hash "inserted")))
+              then Alcotest.failf "size %d at %d" n at
+            done)
+          [ 1; 2; 3; 5; 8; 9; 16; 17 ]);
+    case "dynamic: delete at every position equals rebuild" (fun () ->
+        List.iter
+          (fun n ->
+            let ps = payloads "del" n in
+            let t = Dt.build ps in
+            for at = 0 to n - 1 do
+              let ps' = List.filteri (fun j _ -> j <> at) ps in
+              if not (same_root ps' (Dt.delete t ~at)) then
+                Alcotest.failf "size %d at %d" n at
+            done)
+          [ 2; 3; 5; 8; 9; 16; 17 ]);
+    case "dynamic: delete of the last leaf raises" (fun () ->
+        Alcotest.check_raises "last leaf"
+          (Invalid_argument "Dynamic_tree.delete: last leaf") (fun () ->
+            ignore (Dt.delete (Dt.build [ "x" ]) ~at:0)));
+    case "dynamic: batched apply equals one-by-one" (fun () ->
+        let t = Dt.build (payloads "batch" 9) in
+        let ops =
+          [
+            Dt.Modify { index = 2; leaf = Dt.leaf_hash "m2" };
+            Dt.Append { leaf = Dt.leaf_hash "a9" };
+            Dt.Insert { index = 4; leaf = Dt.leaf_hash "i4" };
+            Dt.Delete { index = 0 };
+            Dt.Modify { index = 7; leaf = Dt.leaf_hash "m7" };
+          ]
+        in
+        let batched = Dt.apply t ops in
+        let stepped = List.fold_left (fun t op -> Dt.apply t [ op ]) t ops in
+        check Alcotest.bool "same root" true (Dt.equal_root batched stepped));
+    case "dynamic: frontier tracks every root" (fun () ->
+        List.iter
+          (fun n ->
+            let t = Dt.build (payloads "fr" n) in
+            let f = Dt.Frontier.of_tree t in
+            check Alcotest.int "total" n (Dt.Frontier.total f);
+            check Alcotest.string "root" (Dt.root t) (Dt.Frontier.root f))
+          dyn_sizes);
+    case "dynamic: frontier append and modify match the tree" (fun () ->
+        let t0 = Dt.build (payloads "fam" 5) in
+        let f0 = Dt.Frontier.of_tree t0 in
+        (* appends *)
+        let t1 = Dt.append t0 (Dt.leaf_hash "x5") in
+        let f1 = Dt.Frontier.append f0 (Dt.leaf_hash "x5") in
+        check Alcotest.string "append root" (Dt.root t1) (Dt.Frontier.root f1);
+        (* modify via a proof from the appended tree *)
+        let p = Dt.proof t1 2 in
+        let t2 = Dt.modify t1 2 (Dt.leaf_hash "y2") in
+        let f2 = Dt.Frontier.modify f1 p ~leaf_hash:(Dt.leaf_hash "y2") in
+        check Alcotest.string "modify root" (Dt.root t2) (Dt.Frontier.root f2));
+  ]
+
+let dynamic_property_tests =
+  let open Util in
+  let gen_leaves =
+    QCheck2.Gen.(
+      list_size (int_range 1 48) (string_size ~gen:printable (int_range 0 16)))
+  in
+  (* A random mutation script over a model list: every reachable root
+     must equal a from-scratch Tree.build of the model. *)
+  let gen_script =
+    QCheck2.Gen.(
+      pair gen_leaves (list_size (int_range 1 24) (pair (int_bound 3) nat)))
+  in
+  let run_script (leaves, script) =
+    let step (model, t) (kind, r) =
+      let n = List.length model in
+      match kind with
+      | 0 ->
+        let i = r mod n in
+        let p = Printf.sprintf "m%d" r in
+        ( List.mapi (fun j x -> if j = i then p else x) model,
+          Dt.apply t [ Dt.Modify { index = i; leaf = Dt.leaf_hash p } ] )
+      | 1 ->
+        let p = Printf.sprintf "a%d" r in
+        (model @ [ p ], Dt.apply t [ Dt.Append { leaf = Dt.leaf_hash p } ])
+      | 2 ->
+        let at = r mod (n + 1) in
+        let p = Printf.sprintf "i%d" r in
+        ( List.filteri (fun j _ -> j < at) model
+          @ [ p ]
+          @ List.filteri (fun j _ -> j >= at) model,
+          Dt.apply t [ Dt.Insert { index = at; leaf = Dt.leaf_hash p } ] )
+      | _ ->
+        if n = 1 then (model, t)
+        else
+          let at = r mod n in
+          ( List.filteri (fun j _ -> j <> at) model,
+            Dt.apply t [ Dt.Delete { index = at } ] )
+    in
+    let check_state (model, t) =
+      same_root model t && Dt.size t = List.length model
+    in
+    let final =
+      List.fold_left
+        (fun state op ->
+          let state = step state op in
+          if not (check_state state) then raise Exit;
+          state)
+        (leaves, Dt.build leaves) script
+    in
+    check_state final
+  in
+  [
+    qcheck ~count:40 "dynamic: every reachable root equals Tree.build"
+      gen_script (fun input ->
+        try run_script input with Exit -> false);
+    qcheck ~count:20 "dynamic: root equivalence holds at 1 and 4 domains"
+      gen_script (fun input ->
+        let at n = with_domains n (fun () -> try run_script input with Exit -> false) in
+        at 1 && at 4);
+    qcheck ~count:60 "dynamic: rank proofs verify on random trees" gen_leaves
+      (fun leaves ->
+        let t = Dt.build leaves in
+        List.for_all
+          (fun i ->
+            Dt.verify_payload ~root:(Dt.root t)
+              ~leaf_payload:(List.nth leaves i) (Dt.proof t i))
+          (List.init (List.length leaves) Fun.id));
+    qcheck ~count:60 "dynamic: of_leaf_hashes agrees with Tree.build_of_hashes"
+      gen_leaves (fun leaves ->
+        let hs = List.map T.leaf_hash leaves in
+        String.equal
+          (T.root (T.build_of_hashes hs))
+          (Dt.root (Dt.of_leaf_hashes hs)));
+  ]
+
+let suite =
+  unit_tests @ property_tests @ dynamic_unit_tests @ dynamic_property_tests

@@ -350,6 +350,65 @@ let soak_tests =
         check Alcotest.int "open spans" 0 (Telemetry.open_spans ()));
   ]
 
+let mutation_tests =
+  let open Util in
+  [
+    case "mutation burst: proof-checked dynamics, audited root" (fun () ->
+        let svc = small_service ~shards:2 ~cap:32 ~quantum:8 "mutate" in
+        submit_ok svc "alice" Service.Admit;
+        ignore (Service.drain svc);
+        submit_ok svc "alice"
+          (Service.Store { file = "ledger"; payloads = blocks 5 });
+        ignore (Service.drain svc);
+        submit_ok svc "alice" (Service.Mutate { file = "ledger"; ops = 12 });
+        (match Service.drain svc with
+        | [ (_, _, Service.Mutated { applied; blocks; intact; diverged }) ] ->
+          check Alcotest.int "all ops applied" 12 applied;
+          check Alcotest.bool "grew or held" true (blocks >= 5);
+          check Alcotest.bool "rank-proof audit intact" true intact;
+          check Alcotest.bool "no divergence" false diverged
+        | _ -> Alcotest.fail "expected one Mutated response");
+        let l = Service.ledger svc in
+        check Alcotest.int "mutations" 1 l.Service.mutations;
+        check Alcotest.int "mutation ops" 12 l.Service.mutation_ops;
+        check Alcotest.int "mutation alarms" 0 l.Service.mutation_alarms);
+    case "mutation of an unknown file is denied, typed" (fun () ->
+        let svc = small_service ~shards:1 ~cap:16 "mutate-deny" in
+        submit_ok svc "bob" Service.Admit;
+        ignore (Service.drain svc);
+        submit_ok svc "bob" (Service.Mutate { file = "ghost"; ops = 3 });
+        (match Service.drain svc with
+        | [ (_, _, Service.Denied Service.Unknown_file) ] -> ()
+        | _ -> Alcotest.fail "expected a typed denial");
+        check Alcotest.int "no mutations counted" 0
+          (Service.ledger svc).Service.mutations);
+    case "mutation bursts are deterministic across domain counts" (fun () ->
+        (* Fixed payloads: [blocks] draws from a shared DRBG, so both
+           runs must see identical data. *)
+        let payloads = blocks 4 in
+        let run () =
+          let svc = small_service ~shards:4 ~cap:64 ~quantum:8 "mutate-det" in
+          for i = 0 to 7 do
+            submit_ok svc (Printf.sprintf "m%d" i) Service.Admit
+          done;
+          ignore (Service.drain svc);
+          for i = 0 to 7 do
+            submit_ok svc (Printf.sprintf "m%d" i)
+              (Service.Store { file = "f"; payloads })
+          done;
+          ignore (Service.drain svc);
+          for i = 0 to 7 do
+            submit_ok svc (Printf.sprintf "m%d" i)
+              (Service.Mutate { file = "f"; ops = 6 })
+          done;
+          ignore (Service.drain svc);
+          Service.digest svc
+        in
+        let d1 = with_domains 1 run in
+        let d4 = with_domains 4 run in
+        check Alcotest.string "digest" d1 d4);
+  ]
+
 let suite =
   router_tests @ backpressure_tests @ identity_tests @ isolation_tests
-  @ soak_tests
+  @ mutation_tests @ soak_tests

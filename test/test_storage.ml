@@ -196,6 +196,7 @@ let dynamic_tests =
       ~da_id:"da" ~file:"dynfile"
       (List.init n (Printf.sprintf "payload-%d"))
   in
+  let accepted = function Ok () -> true | Error _ -> false in
   [
     case "init: client and server agree on the root" (fun () ->
         let client, server = fresh "init" 9 in
@@ -217,43 +218,120 @@ let dynamic_tests =
     case "update bumps version and moves both roots" (fun () ->
         let client, server = fresh "update" 8 in
         let old_root = D.root client in
-        check Alcotest.bool "accepted" true (D.update client server ~index:5 "v1!");
+        check Alcotest.bool "accepted" true
+          (accepted (D.update client server ~index:5 "v1!"));
         check Alcotest.bool "root changed" false (String.equal old_root (D.root client));
         check Alcotest.string "in sync" (D.root client) (D.server_root server);
         match D.read server 5 with
         | Some rp ->
-          check Alcotest.string "payload" "v1!" rp.D.payload;
+          check Alcotest.bool "payload" true (rp.D.content = D.Data "v1!");
           check Alcotest.int "version" 1 rp.D.version;
           check Alcotest.bool "verifies" true (D.verify_read client ~index:5 rp)
         | None -> Alcotest.fail "missing");
     case "stale read proof fails after update (replay protection)" (fun () ->
         let client, server = fresh "stale" 6 in
         let stale = Option.get (D.read server 2) in
-        assert (D.update client server ~index:2 "fresh");
+        assert (accepted (D.update client server ~index:2 "fresh"));
         check Alcotest.bool "stale rejected" false
           (D.verify_read client ~index:2 stale));
     case "append extends the file verifiably" (fun () ->
         let client, server = fresh "append" 5 in
-        check Alcotest.bool "accepted" true (D.append client server "extra-1");
-        check Alcotest.bool "accepted" true (D.append client server "extra-2");
+        check Alcotest.bool "accepted" true
+          (accepted (D.append client server "extra-1"));
+        check Alcotest.bool "accepted" true
+          (accepted (D.append client server "extra-2"));
         check Alcotest.int "count" 7 (D.count client);
         check Alcotest.string "in sync" (D.root client) (D.server_root server);
         match D.read server 6 with
         | Some rp ->
-          check Alcotest.string "payload" "extra-2" rp.D.payload;
+          check Alcotest.bool "payload" true (rp.D.content = D.Data "extra-2");
           check Alcotest.bool "verifies" true (D.verify_read client ~index:6 rp)
         | None -> Alcotest.fail "missing");
     case "delete tombstones a block" (fun () ->
         let client, server = fresh "delete" 5 in
-        check Alcotest.bool "accepted" true (D.delete client server ~index:1);
+        check Alcotest.bool "accepted" true
+          (accepted (D.delete client server ~index:1));
         let rp = Option.get (D.read server 1) in
         check Alcotest.bool "tombstoned" true (D.is_deleted rp);
         check Alcotest.bool "still authenticated" true
           (D.verify_read client ~index:1 rp));
+    case "tombstone sentinel payload is plain data (regression)" (fun () ->
+        (* The previous framing encoded deletion as the reserved
+           payload "\x00__tombstone__": storing those exact bytes was
+           indistinguishable from a delete.  Pin the collision in the
+           old format, then show the typed framing separates them. *)
+        let sentinel = "\x00__tombstone__" in
+        let old_frame ~index ~version ~payload =
+          Sc_hash.Encode.canonical
+            [ "dleaf"; string_of_int version; string_of_int index; payload ]
+        in
+        (* Old delete wrote the sentinel as the payload; innocent user
+           data with the same bytes framed identically. *)
+        let old_delete_leaf = old_frame ~index:4 ~version:1 ~payload:sentinel in
+        let old_data_leaf =
+          old_frame ~index:4 ~version:1 ~payload:"\x00__tombstone__"
+        in
+        check Alcotest.string "old framing collided" old_delete_leaf
+          old_data_leaf;
+        let client, server = fresh "sentinel" 5 in
+        check Alcotest.bool "stored" true
+          (accepted (D.update client server ~index:4 sentinel));
+        let rp = Option.get (D.read server 4) in
+        check Alcotest.bool "not a tombstone" false (D.is_deleted rp);
+        check Alcotest.bool "round-trips" true (rp.D.content = D.Data sentinel);
+        check Alcotest.bool "verifies" true (D.verify_read client ~index:4 rp);
+        (* And an actual delete of the same block is a distinct,
+           authenticated state. *)
+        check Alcotest.bool "deleted" true
+          (accepted (D.delete client server ~index:4));
+        let rp' = Option.get (D.read server 4) in
+        check Alcotest.bool "tombstoned" true (D.is_deleted rp');
+        check Alcotest.bool "verifies" true (D.verify_read client ~index:4 rp'));
+    case "lying (lazy) server is caught at update time (regression)" (fun () ->
+        let client, server = fresh "lazy" 6 in
+        D.make_lazy server;
+        (match D.update client server ~index:2 "new-bytes" with
+        | Error (D.Diverged { expected; server = got }) ->
+          check Alcotest.bool "roots differ" false (String.equal expected got);
+          check Alcotest.string "client holds the true root" expected
+            (D.root client)
+        | Ok () | Error _ -> Alcotest.fail "divergence not detected");
+        (match D.append client server "tail" with
+        | Error (D.Diverged _) -> ()
+        | Ok () | Error _ -> Alcotest.fail "append divergence not detected"));
+    case "update out of range / bad pre-state are typed errors" (fun () ->
+        let client, server = fresh "typed" 4 in
+        check Alcotest.bool "not found" true
+          (D.update client server ~index:9 "x" = Error D.Not_found);
+        D.corrupt_entry server 1;
+        check Alcotest.bool "bad proof" true
+          (D.update client server ~index:1 "x" = Error D.Bad_proof);
+        check Alcotest.int "count unchanged" 4 (D.count client));
+    case "batch: k mutations, one root transition" (fun () ->
+        let client, server = fresh "batch" 6 in
+        let ops =
+          [
+            D.Update { index = 0; payload = "b0" };
+            D.Append { payload = "b6" };
+            D.Delete { index = 3 };
+            D.Update { index = 6; payload = "b6'" };
+          ]
+        in
+        (match D.batch client server ops with
+        | Ok n -> check Alcotest.int "all applied" 4 n
+        | Error _ -> Alcotest.fail "batch rejected");
+        check Alcotest.string "in sync" (D.root client) (D.server_root server);
+        let stmt = D.publish_root client ~bytes_source:(Util.fresh_bs "bsig") in
+        let rep =
+          D.audit pub ~verifier_key:da_key ~owner:"alice" ~file:"dynfile"
+            ~root_statement:stmt server
+            ~drbg:(Sc_hash.Drbg.create ~seed:"da-batch") ~samples:7
+        in
+        check Alcotest.bool "intact" true rep.D.intact);
     case "DA audit passes on an honest dynamic server" (fun () ->
         let client, server = fresh "audit" 12 in
-        assert (D.update client server ~index:3 "updated");
-        assert (D.append client server "appended");
+        assert (accepted (D.update client server ~index:3 "updated"));
+        assert (accepted (D.append client server "appended"));
         let stmt = D.publish_root client ~bytes_source:(Util.fresh_bs "rootsig") in
         let rep =
           D.audit pub ~verifier_key:da_key ~owner:"alice" ~file:"dynfile"
@@ -288,6 +366,31 @@ let dynamic_tests =
         in
         check Alcotest.bool "rejected" false rep.D.intact;
         check Alcotest.int "nothing sampled" 0 rep.D.sampled);
+    case "audit validates the stated count before allocating (regression)"
+      (fun () ->
+        (* A signed-but-bogus statement used to size Array.init from
+           the stated count directly: count = 2^60 was a one-line DoS
+           on the auditor.  Both overclaims now classify as not intact
+           without touching the heap. *)
+        let client, server = fresh "hugecount" 6 in
+        let forged count =
+          let msg =
+            D.root_statement_msg ~file:"dynfile" ~count ~root:(D.root client)
+          in
+          msg, Sc_ibc.Ibs.sign pub alice ~bytes_source:(Util.fresh_bs "hc") msg
+        in
+        let run stmt =
+          D.audit pub ~verifier_key:da_key ~owner:"alice" ~file:"dynfile"
+            ~root_statement:stmt server
+            ~drbg:(Sc_hash.Drbg.create ~seed:"da-huge") ~samples:4
+        in
+        let beyond_server = run (forged 50) in
+        check Alcotest.bool "count > server rejected" false
+          beyond_server.D.intact;
+        check Alcotest.int "nothing sampled" 0 beyond_server.D.sampled;
+        let huge = run (forged (D.audit_count_cap + 1)) in
+        check Alcotest.bool "count > cap rejected" false huge.D.intact;
+        check Alcotest.int "nothing allocated or sampled" 0 huge.D.sampled);
   ]
 
 let suite = block_tests @ signer_tests @ server_tests @ dynamic_tests
