@@ -4,17 +4,24 @@
 let exp_table = Array.make 512 0
 let log_table = Array.make 256 0
 
+(* multiply by the generator 0x03 = x + 1: shift-and-add with the AES
+   reduction. *)
+let next_pow x =
+  let doubled = x lsl 1 in
+  let doubled =
+    if doubled land 0x100 <> 0 then doubled lxor 0x11B else doubled
+  in
+  doubled lxor x
+
 let () =
-  let x = ref 1 in
-  for i = 0 to 254 do
-    exp_table.(i) <- !x;
-    log_table.(!x) <- i;
-    (* multiply by the generator 0x03 = x + 1: shift-and-add with the
-       AES reduction. *)
-    let doubled = !x lsl 1 in
-    let doubled = if doubled land 0x100 <> 0 then doubled lxor 0x11B else doubled in
-    x := doubled lxor !x
-  done;
+  let rec fill i x =
+    if i <= 254 then begin
+      exp_table.(i) <- x;
+      log_table.(x) <- i;
+      fill (i + 1) (next_pow x)
+    end
+  in
+  fill 0 1;
   for i = 255 to 511 do
     exp_table.(i) <- exp_table.(i - 255)
   done

@@ -6,12 +6,15 @@
 ; justification a reviewer can audit; `sc_lint --stale-waivers` fails
 ; when an entry no longer matches anything, so this file can only shrink.
 
-((rule domain-safety)
- (file lib/erasure/gf256.ml)
- (key _)
+((rule domain-capture)
+ (file lib/service/service.ml)
+ (key drain:t)
  (justification
-  "Generator-walk ref inside the load-time `let () =` initializer that \
-   fills the exp/log tables; the tables are read-only afterwards."))
+  "The drain-round task captures the service record, but each pool task \
+   only touches its own shard's slice (sh.queue / sh.out / per-shard \
+   DRBGs) and the cross-shard fields (depth, telemetry) are written \
+   between rounds on the submitting domain, after the pool barrier — \
+   the documented shard-ownership discipline from PR 8."))
 
 ((rule domain-safety)
  (file lib/parallel/sc_parallel.ml)

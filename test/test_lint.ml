@@ -264,9 +264,272 @@ let waivers =
         | Ok _ -> Alcotest.fail "expected parse error");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Typed-pass fixtures.  Each source is typechecked in-process with no
+   extra include dirs: the typed rules match suffix names
+   ("Setup.sio", "Sc_parallel.parallel_iter", "Service.error"), so
+   stub modules defined inside the fixture stand in for the repo's
+   and the tests stay hermetic. *)
+
+module Typed_load = Sc_lint_core.Typed_load
+module Flow_graph = Sc_lint_core.Flow_graph
+module Typed_rules = Sc_lint_core.Typed_rules
+
+let typed_lint ?(waivers = []) ?(rel = "lib/fixture.ml") content =
+  match
+    Typed_load.typecheck ~include_dirs:[] ~modname:"Fixture" ~rel content
+  with
+  | Error e -> Alcotest.failf "fixture did not typecheck:\n%s" e
+  | Ok entry ->
+    let graph = Flow_graph.build [ entry ] in
+    let pass = Typed_rules.prepare graph ~waivers in
+    Typed_rules.lint pass entry
+
+let no_typed_findings ?rel name content =
+  case name (fun () ->
+      match typed_lint ?rel content with
+      | [] -> ()
+      | fs ->
+        Alcotest.failf "expected no typed findings, got:\n%s"
+          (String.concat "\n" (List.map Finding.to_string fs)))
+
+let find_rule r fs = List.find (fun f -> f.Finding.rule = r) fs
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let sio_stub = "module Setup = struct type sio = Sio of string end\n"
+
+let typed_secret_flow =
+  [
+    case "value of a secret type reaching print_endline is flagged" (fun () ->
+        let fs =
+          typed_lint
+            (sio_stub
+            ^ "let debug (k : Setup.sio) =\n\
+              \  match k with Setup.Sio s -> print_endline s\n")
+        in
+        let f = find_rule "typed-secret-flow" fs in
+        check Alcotest.string "key is fn>sink" "debug>print_endline"
+          f.Finding.key;
+        check Alcotest.bool "error severity" true
+          (f.Finding.severity = Finding.Error));
+    case "leak through a helper carries the call chain" (fun () ->
+        let fs =
+          typed_lint
+            (sio_stub
+            ^ "let log_it s = print_endline s\n\
+               let expose (k : Setup.sio) =\n\
+              \  match k with Setup.Sio s -> log_it s\n")
+        in
+        let f = find_rule "typed-secret-flow" fs in
+        check Alcotest.string "chain key"
+          "expose>Fixture.log_it>print_endline" f.Finding.key);
+    case "DRBG keystream output stays secret across functions" (fun () ->
+        let fs =
+          typed_lint
+            "module Drbg = struct let generate n = String.make n 'k' end\n\
+             let keystream n = Drbg.generate n\n\
+             let show n = print_endline (keystream n)\n"
+        in
+        check Alcotest.bool "flagged" true (has_rule "typed-secret-flow" fs));
+    no_typed_findings "hashing first is the sanctioned way to log a secret"
+      (sio_stub
+      ^ "module Sha256 = struct let digest_hex (s : string) = s end\n\
+         let show (k : Setup.sio) =\n\
+        \  match k with Setup.Sio s -> print_endline (Sha256.digest_hex s)\n");
+    no_typed_findings "plain public strings do not taint"
+      "let show s = print_endline s\n";
+  ]
+
+let pool_stub =
+  "module Sc_parallel = struct\n\
+  \  let parallel_iter f n = for i = 0 to n - 1 do f i done\n\
+   end\n"
+
+let captured_ref_src =
+  pool_stub
+  ^ "let races n =\n\
+    \  let acc = ref 0 in\n\
+    \  Sc_parallel.parallel_iter (fun i -> acc := !acc + i) n;\n\
+    \  !acc\n"
+
+let typed_domain_capture =
+  [
+    case "pool task capturing a plain ref is flagged" (fun () ->
+        let fs = typed_lint captured_ref_src in
+        let f = find_rule "domain-capture" fs in
+        check Alcotest.string "key is enclosing:var" "races:acc" f.Finding.key;
+        check Alcotest.bool "error severity" true
+          (f.Finding.severity = Finding.Error));
+    no_typed_findings "Atomic accumulation is the sanctioned idiom"
+      (pool_stub
+      ^ "let counts n =\n\
+        \  let acc = Atomic.make 0 in\n\
+        \  Sc_parallel.parallel_iter (fun _ -> Atomic.incr acc) n;\n\
+        \  Atomic.get acc\n");
+    no_typed_findings "per-index writes into a shared array are disjoint"
+      (pool_stub
+      ^ "let table n =\n\
+        \  let out = Array.make n 0 in\n\
+        \  Sc_parallel.parallel_iter (fun i -> out.(i) <- i * i) n;\n\
+        \  out\n");
+    case "a waiver suppresses the capture finding without going stale"
+      (fun () ->
+        let fs = typed_lint captured_ref_src in
+        let w =
+          "((rule domain-capture) (file lib/fixture.ml) (key races:acc)\n\
+          \ (justification \"fixture: single-domain test pool\"))"
+        in
+        match Waiver.parse w with
+        | Error e -> Alcotest.failf "waiver parse: %s" e
+        | Ok ws ->
+          let unwaived, waived, stale = Waiver.apply ws fs in
+          check Alcotest.bool "suppressed" false
+            (has_rule "domain-capture" unwaived);
+          check Alcotest.int "one waived" 1 (List.length waived);
+          check Alcotest.int "no stale" 0 (List.length stale));
+  ]
+
+let service_stub =
+  "module Service = struct type error = Overloaded of int end\n\
+   let submit () : (unit, Service.error) result =\n\
+  \  Error (Service.Overloaded 1)\n"
+
+let protocol_stub =
+  "module Protocol = struct type failure = Diverged of string | Timeout end\n\
+   let check () : (unit, Protocol.failure) result = Error Protocol.Timeout\n"
+
+let typed_discarded_error =
+  [
+    case "ignore of a typed-error result is flagged" (fun () ->
+        let fs =
+          typed_lint (service_stub ^ "let pump () = ignore (submit ())\n")
+        in
+        let f = find_rule "discarded-error" fs in
+        check Alcotest.string "key" "pump:ignore:Service.error" f.Finding.key);
+    case "wildcard arm over a protocol failure is flagged" (fun () ->
+        let fs =
+          typed_lint
+            (protocol_stub
+            ^ "let run () = match check () with Ok () -> 0 | _ -> 1\n")
+        in
+        let f = find_rule "discarded-error" fs in
+        check Alcotest.string "key" "run:wildcard:Protocol.failure"
+          f.Finding.key);
+    case "let _ discarding a typed verdict is flagged" (fun () ->
+        let fs =
+          typed_lint
+            (service_stub ^ "let drop () =\n  let _res = submit () in\n  ()\n")
+        in
+        check Alcotest.bool "flagged" true (has_rule "discarded-error" fs));
+    no_typed_findings "matching every constructor surfaces the verdict"
+      (protocol_stub
+      ^ "let run () =\n\
+        \  match check () with\n\
+        \  | Ok () -> 0\n\
+        \  | Error (Protocol.Diverged _) -> 1\n\
+        \  | Error Protocol.Timeout -> 2\n");
+    no_typed_findings "ignoring a plain int is fine"
+      "let f () = ignore (1 + 2)\n";
+  ]
+
+let jitter_src = "let jitter () = Random.int 6\nlet spread n = jitter () + n\n"
+
+let typed_transitive_determinism =
+  [
+    case "caller of a Random-using helper is flagged with the chain" (fun () ->
+        let fs = typed_lint jitter_src in
+        let f = find_rule "transitive-determinism" fs in
+        check Alcotest.string "chain key" "spread>Fixture.jitter>Random.int"
+          f.Finding.key;
+        check Alcotest.bool "message spells the chain" true
+          (contains f.Finding.msg "spread -> Fixture.jitter -> Random.int"));
+    case "the same code outside lib/ is not flagged" (fun () ->
+        let fs = typed_lint ~rel:"bin/fixture.ml" jitter_src in
+        check Alcotest.bool "not flagged" false
+          (has_rule "transitive-determinism" fs));
+    case "a waived direct source does not propagate to callers" (fun () ->
+        let w =
+          "((rule determinism) (file lib/fixture.ml) (key jitter:Random.int)\n\
+          \ (justification \"fixture: sanctioned entropy source\"))"
+        in
+        match Waiver.parse w with
+        | Error e -> Alcotest.failf "waiver parse: %s" e
+        | Ok ws ->
+          let fs = typed_lint ~waivers:ws jitter_src in
+          check Alcotest.bool "not flagged" false
+            (has_rule "transitive-determinism" fs));
+    no_typed_findings "deterministic helpers do not seed the closure"
+      "let leaf n = n * 2\nlet outer n = leaf n + 1\n";
+  ]
+
+let typed_fallback =
+  [
+    case "without cmts the Parsetree secret heuristic still runs" (fun () ->
+        let src =
+          {
+            Engine.rel = "lib/fixture.ml";
+            content = "let debug sk = Printf.printf \"sk=%s\" sk\n";
+            has_mli = true;
+          }
+        in
+        let findings, cmt_rels =
+          Engine.lint_all ~build_dir:"/nonexistent-cmt-dir" ~waivers:[]
+            [ src ]
+        in
+        check Alcotest.(list string) "no cmt coverage" [] cmt_rels;
+        check Alcotest.bool "name-heuristic finding" true
+          (has_rule "secret-flow" findings));
+    case "to_json escapes quotes and carries the waived flag" (fun () ->
+        let f =
+          {
+            Finding.rule = "typed-secret-flow";
+            file = "lib/a.ml";
+            line = 3;
+            severity = Finding.Error;
+            key = "f>sink";
+            msg = "say \"hi\"";
+          }
+        in
+        check Alcotest.string "json"
+          "{\"rule\":\"typed-secret-flow\",\"file\":\"lib/a.ml\",\"line\":3,\
+           \"severity\":\"error\",\"key\":\"f>sink\",\"msg\":\"say \
+           \\\"hi\\\"\",\"waived\":true}"
+          (Finding.to_json ~waived:true f));
+    case "findings differing only in chain key both survive dedup" (fun () ->
+        let f key =
+          {
+            Finding.rule = "transitive-determinism";
+            file = "lib/a.ml";
+            line = 7;
+            severity = Finding.Error;
+            key;
+            msg = "m";
+          }
+        in
+        let fs =
+          List.sort_uniq Finding.compare
+            [ f "g>A.h>Random.int"; f "g>B.h>Sys.time"; f "g>A.h>Random.int" ]
+        in
+        check Alcotest.int "two distinct chains" 2 (List.length fs));
+  ]
+
 (* The real tree must lint clean against the committed baseline, and
    the baseline must contain no dead entries — the same gate
-   `dune build @lint` applies, run in-process. *)
+   `make lint` applies, run in-process.  The typed pass rides along
+   when the surrounding _build has cmt files (it does under
+   `dune runtest`: the test links every library); if they are absent
+   the typed waivers are excluded from staleness, mirroring the
+   CLI. *)
+let typed_rule_names =
+  [
+    "typed-secret-flow"; "domain-capture"; "discarded-error";
+    "transitive-determinism";
+  ]
+
 let self_lint =
   [
     case "repo lints clean with zero stale waivers" (fun () ->
@@ -286,11 +549,20 @@ let self_lint =
           let sources = Engine.collect_files ~root [ "lib"; "bin"; "test" ] in
           check Alcotest.bool "collected a plausible tree" true
             (List.length sources > 50);
-          let findings = Engine.lint_sources sources in
           match Waiver.parse (In_channel.with_open_text waiver_file In_channel.input_all) with
           | Error e -> Alcotest.failf "waiver parse: %s" e
           | Ok ws ->
+            let findings, cmt_rels =
+              Engine.lint_all ~build_dir:root ~waivers:ws sources
+            in
             let unwaived, _, stale = Waiver.apply ws findings in
+            let stale =
+              List.filter
+                (fun w ->
+                  (not (List.mem w.Waiver.rule typed_rule_names))
+                  || List.mem w.Waiver.file cmt_rels)
+                stale
+            in
             let errors =
               List.filter
                 (fun f -> f.Finding.severity = Finding.Error)
@@ -305,4 +577,6 @@ let self_lint =
 let suite =
   domain_safety @ signing_encode @ determinism @ secret_flow
   @ exception_discipline @ naive_scalar_mul @ dynamic_metric_name @ infra
-  @ waivers @ self_lint
+  @ waivers @ typed_secret_flow @ typed_domain_capture
+  @ typed_discarded_error @ typed_transitive_determinism @ typed_fallback
+  @ self_lint

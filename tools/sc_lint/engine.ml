@@ -61,6 +61,33 @@ let lint_source (src : source) : Finding.t list =
 let lint_sources srcs =
   List.sort Finding.compare (List.concat_map lint_source srcs)
 
+(* Parse rules plus (when a build dir with cmts is given) the typed
+   pass.  For files with a cmt, the typed secret-flow analysis
+   replaces the name-heuristic secret-flow rule; files without stay on
+   the Parsetree fallback.  Returns the findings and the rels that had
+   a cmt, so the CLI can restrict stale-waiver checking of typed rules
+   to files that were actually analyzed. *)
+let lint_all ?build_dir ~waivers srcs =
+  let parse_findings = List.concat_map lint_source srcs in
+  match build_dir with
+  | None -> (List.sort_uniq Finding.compare parse_findings, [])
+  | Some dir ->
+    let entries =
+      Typed_load.scan ~build_dir:dir
+        ~rels:(List.map (fun (s : source) -> s.rel) srcs)
+    in
+    let cmt_rels = List.map (fun (e : Typed_load.entry) -> e.rel) entries in
+    let graph = Flow_graph.build entries in
+    let pass = Typed_rules.prepare graph ~waivers in
+    let typed = List.concat_map (Typed_rules.lint pass) entries in
+    let parse_findings =
+      List.filter
+        (fun (f : Finding.t) ->
+          not (f.rule = "secret-flow" && List.mem f.file cmt_rels))
+        parse_findings
+    in
+    (List.sort_uniq Finding.compare (typed @ parse_findings), cmt_rels)
+
 (* ------------------------------------------------------------------ *)
 (* Filesystem walk                                                    *)
 
@@ -95,13 +122,23 @@ let collect_files ~root dirs : source list =
       else
         List.map
           (fun path ->
-            (* root-relative with '/' separators for stable waiver keys *)
+            (* root-relative with '/' separators for stable waiver keys;
+               "./lib/..." and "lib/..." must compare equal no matter
+               what cwd/--root spelling the caller used *)
             let rel =
               let r = Filename.concat root "" in
               let n = String.length r in
-              if String.length path > n && String.sub path 0 n = r then
-                String.sub path n (String.length path - n)
-              else path
+              let rel =
+                if String.length path > n && String.sub path 0 n = r then
+                  String.sub path n (String.length path - n)
+                else path
+              in
+              let rec strip rel =
+                if String.length rel > 2 && String.sub rel 0 2 = "./" then
+                  strip (String.sub rel 2 (String.length rel - 2))
+                else rel
+              in
+              strip rel
             in
             {
               rel;

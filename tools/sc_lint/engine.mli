@@ -10,6 +10,16 @@ type source = {
 val lint_source : source -> Finding.t list
 val lint_sources : source list -> Finding.t list
 
+val lint_all :
+  ?build_dir:string ->
+  waivers:Waiver.t list ->
+  source list ->
+  Finding.t list * string list
+(** Parse rules plus, when [build_dir] holds cmts, the typed pass
+    ({!Typed_rules}).  Files with a cmt get the typed secret-flow
+    analysis instead of the name heuristic; files without keep the
+    Parsetree fallback.  Also returns the rels that had a cmt. *)
+
 val collect_files : root:string -> string list -> source list
 (** [collect_files ~root dirs] reads every [.ml] under [root/dir] for
     each [dir], skipping [_build] and dot-directories. *)

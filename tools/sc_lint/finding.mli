@@ -18,4 +18,9 @@ val to_string : t -> string
     prints and CI greps. *)
 
 val compare : t -> t -> int
-(** Order by file, then line, then rule. *)
+(** Total order: file, line, rule, key, msg — so findings that differ
+    only in their call chain survive [List.sort_uniq]. *)
+
+val to_json : ?waived:bool -> t -> string
+(** One finding as a JSON object (stable field order; schema in
+    DESIGN.md §4l). *)

@@ -1,0 +1,50 @@
+(** The cross-module call/flow substrate for the typed rules: every
+    toplevel (and module-nested) binding of the loaded files keyed by
+    dotted name, path-name normalisation, and a repo-wide mutable-type
+    classification. *)
+
+type fn = {
+  qname : string;  (** "Sc_hash.Drbg.generate" *)
+  name : string;  (** last segment *)
+  rel : string;
+  line : int;
+  body : Typedtree.expression;
+}
+
+type t
+
+val build : Typed_load.entry list -> t
+
+val functions : t -> fn list
+(** All known bindings, sorted by [qname]. *)
+
+val fns_in_file : t -> rel:string -> fn list
+
+val top_bindings :
+  Typed_load.entry -> (string * int * Typedtree.expression) list
+(** Every toplevel/nested binding of one file as
+    [(qname, line, body)], including anonymous ["Mod._"] ones
+    ([let () = ...]) that the function table omits. *)
+
+val path_segs : Path.t -> string list
+(** Resolved path as plain dotted segments ("Sc_hash__Drbg" is split
+    back to ["Sc_hash"; "Drbg"]). *)
+
+val path_name : Path.t -> string
+
+val resolve_name : t -> current:string -> string -> fn option
+(** Resolve a written dotted name from module [current]: exact, then
+    [current]-qualified, then unique suffix (same library preferred). *)
+
+val resolve_path : t -> rel:string -> current:string -> Path.t -> fn option
+(** Like {!resolve_name}, but a [Pident] head is looked up in the
+    per-file ident table (cmt stamps are only unique per file). *)
+
+val mutable_type_reason : t -> current:string -> Types.type_expr -> string option
+(** [Some name] when the type is (or contains, through tuples and
+    immutable containers) mutable state: ref/array/bytes/Hashtbl/
+    Buffer/Queue/Stack or a declared type with mutable fields
+    (computed as a fixpoint over all loaded declarations).
+    [Atomic.t]/[Mutex.t]/[Condition.t]/[Semaphore.*] and
+    [Sc_telemetry] types (registry-mutex-guarded by design) are
+    exempt. *)

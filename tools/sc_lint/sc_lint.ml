@@ -1,10 +1,26 @@
 (* CLI: sc_lint [--root DIR] [--waivers FILE] [--stale-waivers]
-                [--no-waivers] [DIR ...]
+                [--no-waivers] [--typed] [--no-typed] [--build DIR]
+                [--json] [DIR ...]
 
    Lints every .ml under the given directories (default: lib bin test,
    relative to --root), applies the waiver baseline, and prints the
-   remaining findings as "file:line rule severity message".  Exit
-   status: 0 clean, 1 unwaived error findings (or, with
+   remaining findings as "file:line rule severity message".
+
+   Typed pass: by default sc_lint looks for cmt files under
+   <root>/_build/default (falling back to <root> itself, which is the
+   layout when running in place inside _build) and runs the
+   interprocedural rules over every file that has one; --build DIR
+   points it elsewhere, --no-typed disables it (Parsetree rules only,
+   as on a tree that has not been built), --typed merely asserts the
+   default.  Stale-waiver checking only considers a typed rule's
+   waiver when its file actually had a cmt, so a Parsetree-only run
+   does not report typed waivers as stale.
+
+   --json emits every finding (waived ones flagged) as a JSON array on
+   stdout — stable order, schema in DESIGN.md §4l — with the usual
+   summary on stderr.
+
+   Exit status: 0 clean, 1 unwaived error findings (or, with
    --stale-waivers, stale baseline entries), 2 usage / waiver-file
    errors. *)
 
@@ -13,14 +29,23 @@ open Sc_lint_core
 let usage () =
   prerr_endline
     "usage: sc_lint [--root DIR] [--waivers FILE] [--stale-waivers] \
-     [--no-waivers] [DIR ...]";
+     [--no-waivers] [--typed] [--no-typed] [--build DIR] [--json] [DIR ...]";
   exit 2
+
+let typed_rules =
+  [
+    "typed-secret-flow"; "domain-capture"; "discarded-error";
+    "transitive-determinism";
+  ]
 
 let () =
   let root = ref "." in
   let waivers_file = ref None in
   let use_waivers = ref true in
   let check_stale = ref false in
+  let typed = ref `Auto in
+  let build = ref None in
+  let json = ref false in
   let dirs = ref [] in
   let rec parse = function
     | [] -> ()
@@ -35,6 +60,18 @@ let () =
       parse rest
     | "--no-waivers" :: rest ->
       use_waivers := false;
+      parse rest
+    | "--typed" :: rest ->
+      typed := `On;
+      parse rest
+    | "--no-typed" :: rest ->
+      typed := `Off;
+      parse rest
+    | "--build" :: v :: rest ->
+      build := Some v;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
       parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | d :: rest when String.length d > 0 && d.[0] <> '-' ->
@@ -66,23 +103,62 @@ let () =
         Printf.eprintf "sc_lint: %s: %s\n" waiver_path msg;
         exit 2
   in
-  let findings = Engine.lint_sources (Engine.collect_files ~root:!root dirs) in
+  let build_dir =
+    match (!typed, !build) with
+    | `Off, _ -> None
+    | _, Some dir -> Some dir
+    | (`Auto | `On), None ->
+      let default = Filename.concat !root "_build/default" in
+      if Sys.file_exists default && Sys.is_directory default then Some default
+      else Some !root
+  in
+  let sources = Engine.collect_files ~root:!root dirs in
+  let findings, cmt_rels = Engine.lint_all ?build_dir ~waivers sources in
   let unwaived, waived, stale = Waiver.apply waivers findings in
-  List.iter (fun f -> print_endline (Finding.to_string f)) unwaived;
+  let stale =
+    (* a typed rule's waiver is only checkable when its file was
+       actually analyzed with a cmt *)
+    List.filter
+      (fun (w : Waiver.t) ->
+        (not (List.mem w.rule typed_rules)) || List.mem w.file cmt_rels)
+      stale
+  in
+  if !json then begin
+    (* [findings] is already sorted by Finding.compare (the stable
+       order the schema documents); just tag each with its waiver
+       status *)
+    let all =
+      List.map
+        (fun f -> (f, List.exists (fun w -> Waiver.matches w f) waivers))
+        findings
+    in
+    print_string "[";
+    List.iteri
+      (fun i (f, w) ->
+        if i > 0 then print_string ",";
+        print_string "\n  ";
+        print_string (Finding.to_json ~waived:w f))
+      all;
+    if all <> [] then print_string "\n";
+    print_endline "]"
+  end
+  else List.iter (fun f -> print_endline (Finding.to_string f)) unwaived;
   if !check_stale then
     List.iter
       (fun w ->
-        Printf.printf "%s: stale waiver %s\n" waiver_path (Waiver.to_string w))
+        Printf.eprintf "%s: stale waiver %s\n" waiver_path (Waiver.to_string w))
       stale;
   let errors =
     List.filter (fun f -> f.Finding.severity = Finding.Error) unwaived
   in
   Printf.eprintf
-    "sc_lint: %d file(s), %d finding(s): %d error(s) unwaived, %d waived, %d \
-     informational%s\n"
-    (List.length (Engine.collect_files ~root:!root dirs))
-    (List.length findings) (List.length errors) (List.length waived)
-    (List.length (List.filter (fun f -> f.Finding.severity = Finding.Info) unwaived))
-    (if !check_stale then Printf.sprintf ", %d stale waiver(s)" (List.length stale)
+    "sc_lint: %d file(s), %d with cmt, %d finding(s): %d error(s) unwaived, \
+     %d waived, %d informational%s\n"
+    (List.length sources) (List.length cmt_rels) (List.length findings)
+    (List.length errors) (List.length waived)
+    (List.length
+       (List.filter (fun f -> f.Finding.severity = Finding.Info) unwaived))
+    (if !check_stale then
+       Printf.sprintf ", %d stale waiver(s)" (List.length stale)
      else "");
   if errors <> [] || (!check_stale && stale <> []) then exit 1

@@ -1,0 +1,31 @@
+(** Typedtree loading for the typed pass: scan dune's [.cmt] output,
+    and typecheck fixture sources in-process for the tests. *)
+
+type entry = {
+  rel : string;  (** root-relative source path, e.g. "lib/hash/drbg.ml" *)
+  modname : string;  (** normalised dotted name, e.g. "Sc_hash.Drbg" *)
+  structure : Typedtree.structure;
+}
+
+val normalize_modname : string -> string
+(** "Sc_hash__Drbg" -> "Sc_hash.Drbg", "Dune__exe__Foo" -> "Foo". *)
+
+val scan : build_dir:string -> rels:string list -> entry list
+(** Walk [build_dir] for [.cmt] files and return one entry per
+    implementation whose [cmt_sourcefile] is in [rels] (first wins),
+    sorted by [rel].  Unreadable or foreign cmts are skipped, so a
+    partially built tree degrades to partial typed coverage. *)
+
+val include_dirs : root:string -> string list
+(** The [lib/<d>/.<lib>.objs/byte] directories under [root] — where
+    dune keeps the repo's .cmi files. *)
+
+val typecheck :
+  include_dirs:string list ->
+  modname:string ->
+  rel:string ->
+  string ->
+  (entry, string) result
+(** Typecheck one source string in-process against the given .cmi
+    directories (all warnings off); [Error] carries the compiler
+    report.  Used by the fixture tests. *)
